@@ -1,0 +1,20 @@
+"""Fig. 10 — impact of the clustering threshold γ on BatchEnum+ (Exp-4)."""
+
+import pytest
+
+from benchmarks.conftest import bench_similar_workload
+from repro.batch.batch_enum import BatchEnum
+
+GAMMAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+DATASETS = ("EP", "UK")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_fig10_time_vs_gamma(benchmark, dataset, gamma):
+    graph, queries = bench_similar_workload(dataset, 0.5)
+    algorithm = BatchEnum(graph, gamma=gamma, optimize_search_order=True)
+    benchmark.group = f"fig10-{dataset}"
+    result = benchmark.pedantic(algorithm.run, args=(list(queries),), rounds=1, iterations=1)
+    benchmark.extra_info["clusters"] = result.sharing.num_clusters
+    benchmark.extra_info["shared_nodes"] = result.sharing.num_shared_nodes

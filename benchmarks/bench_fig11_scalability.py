@@ -1,0 +1,30 @@
+"""Fig. 11 — scalability on vertex samples of the two largest datasets (Exp-5)."""
+
+import pytest
+
+from repro.batch.engine import BatchQueryEngine
+from repro.experiments.datasets import load_dataset
+from repro.graph.sampling import sample_vertices
+from repro.queries.generation import generate_random_queries
+
+FRACTIONS = (0.4, 0.7, 1.0)
+ALGORITHMS = ("basic", "basic+", "batch", "batch+")
+DATASETS = ("TW", "FS")
+
+
+def _workload(dataset: str, fraction: float):
+    graph = sample_vertices(load_dataset(dataset), fraction, seed=0)
+    queries = generate_random_queries(graph, 15, min_k=3, max_k=4, seed=0)
+    return graph, queries
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11_time_vs_graph_size(benchmark, dataset, fraction, algorithm):
+    graph, queries = _workload(dataset, fraction)
+    engine = BatchQueryEngine(graph, algorithm=algorithm, gamma=0.5)
+    benchmark.group = f"fig11-{dataset}-{int(fraction * 100)}pct"
+    result = benchmark.pedantic(engine.run, args=(queries,), rounds=1, iterations=1)
+    benchmark.extra_info["graph_edges"] = graph.num_edges
+    benchmark.extra_info["paths"] = result.total_paths()

@@ -1,0 +1,24 @@
+"""Fig. 12 — comparison with the adapted k-shortest-path algorithms (Exp-6).
+
+The KSP adaptations are orders of magnitude slower, so this benchmark uses
+a deliberately small batch; the per-group comparison table shows the gap on
+each dataset.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_random_workload
+from repro.batch.engine import BatchQueryEngine
+
+ALGORITHMS = ("dksp", "onepass", "batch+")
+DATASETS = ("EP", "BK")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig12_ksp_comparison(benchmark, dataset, algorithm):
+    graph, queries = bench_random_workload(dataset, count=6)
+    engine = BatchQueryEngine(graph, algorithm=algorithm, gamma=0.5)
+    benchmark.group = f"fig12-{dataset}"
+    result = benchmark.pedantic(engine.run, args=(list(queries),), rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = result.total_paths()

@@ -1,0 +1,24 @@
+"""Fig. 13 — average number of HC-s-t paths per query when varying k (Exp-7)."""
+
+import pytest
+
+from repro.batch.batch_enum import BatchEnum
+from repro.experiments.datasets import load_dataset
+from repro.queries.generation import generate_random_queries
+
+HOPS = (3, 4, 5)
+DATASETS = ("EP", "BK")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("k", HOPS)
+def test_fig13_average_paths_vs_k(benchmark, dataset, k):
+    graph = load_dataset(dataset)
+    queries = generate_random_queries(graph, 10, min_k=k, max_k=k, seed=0)
+    algorithm = BatchEnum(graph, gamma=0.5, optimize_search_order=True)
+    benchmark.group = f"fig13-{dataset}"
+    result = benchmark.pedantic(algorithm.run, args=(queries,), rounds=1, iterations=1)
+    average_paths = result.total_paths() / len(queries)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["average_paths"] = round(average_paths, 1)
+    assert average_paths >= 0.0

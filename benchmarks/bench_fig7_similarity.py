@@ -1,0 +1,29 @@
+"""Fig. 7 — processing time when varying query similarity (Exp-1).
+
+One benchmark per (dataset, similarity, algorithm) triple on the quick
+dataset subset.  The pytest-benchmark comparison table therefore reproduces
+the figure's curves: each algorithm's time as the batch similarity grows
+from 0 % to 90 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_similar_workload
+from repro.batch.engine import BatchQueryEngine
+
+SIMILARITIES = (0.0, 0.4, 0.8)
+ALGORITHMS = ("pathenum", "basic", "basic+", "batch", "batch+")
+DATASETS = ("EP", "BK")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("similarity", SIMILARITIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7_time_vs_similarity(benchmark, dataset, similarity, algorithm):
+    graph, queries = bench_similar_workload(dataset, similarity)
+    engine = BatchQueryEngine(graph, algorithm=algorithm, gamma=0.5)
+    benchmark.group = f"fig7-{dataset}-sim{int(similarity * 100)}"
+    result = benchmark.pedantic(engine.run, args=(list(queries),), rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = result.total_paths()
+    benchmark.extra_info["clusters"] = result.sharing.num_clusters
+    benchmark.extra_info["shared_nodes"] = result.sharing.num_shared_nodes

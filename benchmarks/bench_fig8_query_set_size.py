@@ -1,0 +1,21 @@
+"""Fig. 8 — processing time when varying the query set size |Q| (Exp-2)."""
+
+import pytest
+
+from benchmarks.conftest import bench_random_workload
+from repro.batch.engine import BatchQueryEngine
+
+SIZES = (20, 40, 60)
+ALGORITHMS = ("pathenum", "basic", "basic+", "batch", "batch+")
+DATASETS = ("EP", "LJ")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_time_vs_query_set_size(benchmark, dataset, size, algorithm):
+    graph, queries = bench_random_workload(dataset, count=size)
+    engine = BatchQueryEngine(graph, algorithm=algorithm, gamma=0.5)
+    benchmark.group = f"fig8-{dataset}-Q{size}"
+    result = benchmark.pedantic(engine.run, args=(list(queries),), rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = result.total_paths()

@@ -1,0 +1,25 @@
+"""Fig. 9 — processing time decomposition of BatchEnum+ (Exp-3).
+
+One benchmark per (dataset, stage): the run is executed once and the
+per-stage seconds are exposed through ``extra_info`` so the comparison
+output lists BuildIndex / ClusterQuery / IdentifySubquery / Enumeration per
+dataset, exactly like the figure's stacked bars.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_DATASETS, bench_similar_workload
+from repro.batch.batch_enum import BatchEnum
+from repro.experiments.exp_decomposition import STAGES
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_fig9_stage_decomposition(benchmark, dataset):
+    graph, queries = bench_similar_workload(dataset, 0.5)
+    algorithm = BatchEnum(graph, gamma=0.5, optimize_search_order=True)
+    benchmark.group = "fig9-decomposition"
+    result = benchmark.pedantic(algorithm.run, args=(list(queries),), rounds=1, iterations=1)
+    for stage in STAGES:
+        benchmark.extra_info[stage] = round(result.stage_seconds(stage), 6)
+    dominant = max(STAGES, key=result.stage_seconds)
+    benchmark.extra_info["dominant_stage"] = dominant

@@ -1,0 +1,30 @@
+"""Table I — dataset statistics of the synthetic suite.
+
+Benchmarks graph generation + statistics computation per dataset and prints
+the Table I row for each (``--benchmark-only -s`` to see the rows).
+"""
+
+import pytest
+
+from repro.experiments.datasets import DATASETS, get_spec, load_dataset
+from repro.graph.stats import compute_stats
+
+
+@pytest.mark.parametrize("dataset", [spec.name for spec in DATASETS])
+def test_table1_dataset_statistics(benchmark, dataset):
+    spec = get_spec(dataset)
+
+    def build_and_measure():
+        load_dataset.cache_clear()
+        graph = load_dataset(dataset)
+        return compute_stats(graph)
+
+    stats = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    assert stats.num_vertices > 0
+    assert stats.num_edges > 0
+    benchmark.extra_info["paper |V|"] = spec.paper_vertices
+    benchmark.extra_info["paper |E|"] = spec.paper_edges
+    benchmark.extra_info["|V|"] = stats.num_vertices
+    benchmark.extra_info["|E|"] = stats.num_edges
+    benchmark.extra_info["davg"] = round(stats.average_degree, 1)
+    benchmark.extra_info["dmax"] = stats.max_degree

@@ -1,0 +1,96 @@
+"""Pathway queries in a biological interaction network.
+
+The paper's second motivating application: pathway queries ask for the
+chains of interactions (bounded-length simple paths) between pairs of
+substances in a biological network.  Analysts typically ask about several
+substance pairs around the same pathway at once, which makes the queries a
+natural batch with heavy overlap.
+
+The example synthesises a layered metabolic-style network (metabolites ->
+enzymes -> intermediate compounds -> products, with feedback edges), asks
+for the interaction chains between several upstream/downstream pairs, and
+prints a per-pair pathway summary.
+
+Run with::
+
+    python examples/biological_pathways.py
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro import BatchQueryEngine, HCSTQuery
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag
+
+LAYERS = 6
+LAYER_WIDTH = 40
+HOP_CONSTRAINT = 5
+SEED = 3
+
+
+def build_interaction_network(seed: int = SEED) -> DiGraph:
+    """A layered reaction network with a few feedback (reverse) edges."""
+    rng = random.Random(seed)
+    base = layered_dag(num_layers=LAYERS, layer_width=LAYER_WIDTH,
+                       edges_per_vertex=3, seed=seed)
+    graph = base.copy()
+    # Feedback loops: some products regulate upstream reactions.
+    for _ in range(LAYER_WIDTH):
+        downstream = rng.randrange((LAYERS - 1) * LAYER_WIDTH, LAYERS * LAYER_WIDTH)
+        upstream = rng.randrange(0, 2 * LAYER_WIDTH)
+        if not graph.has_edge(downstream, upstream) and downstream != upstream:
+            graph.add_edge(downstream, upstream)
+    return graph
+
+
+def substance_pairs(seed: int = SEED) -> list[tuple[int, int]]:
+    """Pairs of upstream metabolites and downstream products under study.
+
+    Several pairs share the same source metabolite — the typical shape of a
+    pathway study — so the batch has substantial common computation.
+    """
+    rng = random.Random(seed + 1)
+    sources = rng.sample(range(LAYER_WIDTH), 3)
+    products = rng.sample(
+        range((LAYERS - 1) * LAYER_WIDTH, LAYERS * LAYER_WIDTH), 4
+    )
+    return [(source, product) for source in sources for product in products]
+
+
+def main() -> None:
+    graph = build_interaction_network()
+    pairs = substance_pairs()
+    print(f"Interaction network: {graph}")
+    print(f"Pathway queries: {len(pairs)} substance pairs (k = {HOP_CONSTRAINT})\n")
+
+    queries = [HCSTQuery(s=source, t=product, k=HOP_CONSTRAINT) for source, product in pairs]
+    engine = BatchQueryEngine(graph, algorithm="batch+", gamma=0.5)
+    result = engine.run(queries)
+
+    for position, (source, product) in enumerate(pairs):
+        chains = result.paths_at(position)
+        if not chains:
+            print(f"metabolite {source} -> product {product}: no pathway within "
+                  f"{HOP_CONSTRAINT} steps")
+            continue
+        lengths = Counter(len(chain) - 1 for chain in chains)
+        length_summary = ", ".join(
+            f"{count}x length {length}" for length, count in sorted(lengths.items())
+        )
+        print(f"metabolite {source} -> product {product}: {len(chains)} chain(s) "
+              f"({length_summary})")
+        example = min(chains, key=len)
+        print("   shortest chain: " + " -> ".join(str(v) for v in example))
+
+    print(
+        f"\nBatch processed in {result.total_time:.4f}s; "
+        f"{result.sharing.num_shared_nodes} shared HC-s path queries, "
+        f"{result.sharing.cache_reuse_count} cache reuses"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Fraud detection in an e-commerce transaction network.
+
+The paper's first motivating application: when a transaction from account
+``t`` to account ``s`` is submitted, every hop-constrained simple path from
+``s`` to ``t`` that already exists in the network closes a cycle through
+the new transaction — a strong fraud signal.  Transactions arrive in
+bursts, so the cycle queries are processed as one batch.
+
+This example synthesises a transaction network with an injected fraud ring
+(a community that moves money in circles), draws a burst of incoming
+transactions, and uses the batch engine to report the cycles each new
+transaction would close.
+
+Run with::
+
+    python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BatchQueryEngine, HCSTQuery
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_directed
+
+HOP_CONSTRAINT = 4
+RING_SIZE = 8
+BURST_SIZE = 12
+SEED = 7
+
+
+def build_transaction_network(seed: int = SEED) -> tuple[DiGraph, list[int]]:
+    """A scale-free transaction network plus an injected fraud ring."""
+    rng = random.Random(seed)
+    graph = powerlaw_directed(1200, 3, seed=seed, reciprocal_probability=0.15)
+    # Inject a ring: accounts that shuffle funds among themselves densely.
+    ring = rng.sample(range(graph.num_vertices), RING_SIZE)
+    for i, account in enumerate(ring):
+        for offset in (1, 2):
+            target = ring[(i + offset) % RING_SIZE]
+            if account != target and not graph.has_edge(account, target):
+                graph.add_edge(account, target)
+    return graph, ring
+
+
+def incoming_transaction_burst(
+    graph: DiGraph, ring: list[int], seed: int = SEED
+) -> list[tuple[int, int]]:
+    """A burst of new transactions (payer, payee); several involve the ring."""
+    rng = random.Random(seed + 1)
+    burst: list[tuple[int, int]] = []
+    while len(burst) < BURST_SIZE:
+        if len(burst) % 2 == 0:
+            payer, payee = rng.sample(ring, 2)
+        else:
+            payer = rng.randrange(graph.num_vertices)
+            payee = rng.randrange(graph.num_vertices)
+        if payer != payee:
+            burst.append((payer, payee))
+    return burst
+
+
+def main() -> None:
+    graph, ring = build_transaction_network()
+    burst = incoming_transaction_burst(graph, ring)
+    print(f"Transaction network: {graph}")
+    print(f"Incoming burst: {len(burst)} transactions, hop constraint {HOP_CONSTRAINT}\n")
+
+    # A new transaction payer -> payee closes a cycle for every existing
+    # simple path payee -> payer with at most k hops.
+    queries = [HCSTQuery(s=payee, t=payer, k=HOP_CONSTRAINT) for payer, payee in burst]
+    engine = BatchQueryEngine(graph, algorithm="batch+", gamma=0.5)
+    result = engine.run(queries)
+
+    flagged = 0
+    for position, (payer, payee) in enumerate(burst):
+        cycles = result.paths_at(position)
+        if not cycles:
+            continue
+        flagged += 1
+        print(f"ALERT: transaction {payer} -> {payee} closes {len(cycles)} cycle(s)")
+        shortest = min(cycles, key=len)
+        cycle = (payer,) + shortest
+        print("   example cycle: " + " -> ".join(str(v) for v in cycle))
+
+    print(
+        f"\n{flagged}/{len(burst)} transactions flagged; "
+        f"batch processed in {result.total_time:.4f}s "
+        f"({result.sharing.num_shared_nodes} shared HC-s path queries)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Knowledge-graph completion: path features for candidate relations.
+
+The paper's third motivating application: knowledge-graph completion models
+score a candidate relation between two entities using the short paths that
+connect them — entity pairs linked by many short paths are more likely to
+be related.  Predictions are needed for many entity pairs at once, so the
+HC-s-t path queries naturally form a batch, and pairs around the same
+entities share most of their computation.
+
+This example builds a synthetic knowledge graph with communities
+("topics"), picks candidate entity pairs inside and across topics, and
+derives a simple path-count score per pair from the batch results.
+
+Run with::
+
+    python examples/knowledge_graph_completion.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import BatchQueryEngine, HCSTQuery
+from repro.graph.digraph import DiGraph
+
+NUM_TOPICS = 6
+ENTITIES_PER_TOPIC = 80
+HOP_CONSTRAINT = 4
+CANDIDATE_PAIRS = 24
+SEED = 13
+
+
+def build_knowledge_graph(seed: int = SEED) -> DiGraph:
+    """Entities grouped into topics: dense links inside a topic, sparse
+    cross-topic links (the usual community structure of real KGs)."""
+    rng = random.Random(seed)
+    num_entities = NUM_TOPICS * ENTITIES_PER_TOPIC
+    edges: set[tuple[int, int]] = set()
+    for entity in range(num_entities):
+        topic = entity // ENTITIES_PER_TOPIC
+        topic_base = topic * ENTITIES_PER_TOPIC
+        for _ in range(4):
+            neighbor = topic_base + rng.randrange(ENTITIES_PER_TOPIC)
+            if neighbor != entity:
+                edges.add((entity, neighbor))
+        if rng.random() < 0.25:
+            other = rng.randrange(num_entities)
+            if other != entity:
+                edges.add((entity, other))
+    return DiGraph.from_edges(edges, num_vertices=num_entities)
+
+
+def candidate_pairs(graph: DiGraph, seed: int = SEED) -> list[tuple[int, int]]:
+    """Half of the candidates are same-topic pairs, half cross-topic."""
+    rng = random.Random(seed + 1)
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < CANDIDATE_PAIRS:
+        topic = rng.randrange(NUM_TOPICS)
+        base = topic * ENTITIES_PER_TOPIC
+        head = base + rng.randrange(ENTITIES_PER_TOPIC)
+        if len(pairs) % 2 == 0:
+            tail = base + rng.randrange(ENTITIES_PER_TOPIC)
+        else:
+            tail = rng.randrange(graph.num_vertices)
+        if head != tail:
+            pairs.append((head, tail))
+    return pairs
+
+
+def relation_score(paths: list[tuple[int, ...]]) -> float:
+    """A PRA-style score: short connecting paths count more than long ones."""
+    return sum(1.0 / (len(path) - 1) for path in paths)
+
+
+def main() -> None:
+    graph = build_knowledge_graph()
+    pairs = candidate_pairs(graph)
+    print(f"Knowledge graph: {graph}")
+    print(f"Scoring {len(pairs)} candidate relations (k = {HOP_CONSTRAINT})\n")
+
+    queries = [HCSTQuery(s=head, t=tail, k=HOP_CONSTRAINT) for head, tail in pairs]
+    engine = BatchQueryEngine(graph, algorithm="batch+", gamma=0.5)
+    result = engine.run(queries)
+
+    scored = []
+    for position, (head, tail) in enumerate(pairs):
+        paths = result.paths_at(position)
+        scored.append((relation_score(paths), len(paths), head, tail))
+    scored.sort(reverse=True)
+
+    print(f"{'score':>8s}  {'paths':>6s}  candidate relation")
+    for score, count, head, tail in scored[:10]:
+        same_topic = head // ENTITIES_PER_TOPIC == tail // ENTITIES_PER_TOPIC
+        label = "same topic " if same_topic else "cross topic"
+        print(f"{score:8.2f}  {count:6d}  ({head} -> {tail})  [{label}]")
+
+    print(
+        f"\nBatch processed in {result.total_time:.4f}s; "
+        f"{result.sharing.num_shared_nodes} shared HC-s path queries across "
+        f"{result.sharing.num_clusters} clusters"
+    )
+
+
+if __name__ == "__main__":
+    main()

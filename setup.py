@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so the
+PEP 660 editable-install path (which builds a wheel) is unavailable.  This
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(or plain ``python setup.py develop``) fall back to the classic editable
+install.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

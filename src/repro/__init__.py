@@ -1,0 +1,52 @@
+"""repro — batch hop-constrained s-t simple path query processing.
+
+A faithful, pure-Python reproduction of "Batch Hop-Constrained s-t Simple
+Path Query Processing in Large Graphs" (ICDE 2024): the BatchEnum /
+BatchEnum+ algorithms, the BasicEnum and PathEnum baselines, the adapted
+k-shortest-path competitors, and the complete experiment harness used to
+regenerate the paper's tables and figures on synthetic stand-ins for its
+datasets.
+
+Quickstart
+----------
+>>> from repro import DiGraph, HCSTQuery, BatchQueryEngine
+>>> graph = DiGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+>>> engine = BatchQueryEngine(graph, algorithm="batch+")
+>>> result = engine.run([HCSTQuery(s=0, t=3, k=3)])
+>>> sorted(result.paths_at(0))
+[(0, 1, 2, 3), (0, 2, 3)]
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.csr import CSRGraph
+from repro.queries.query import HCSTQuery, HCsPathQuery, Direction
+from repro.queries.workload import QueryWorkload
+from repro.enumeration.path_enum import PathEnum, enumerate_paths
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.batch.engine import BatchQueryEngine, batch_enumerate, ALGORITHMS
+from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
+from repro.batch.batch_enum import BatchEnum
+from repro.batch.results import BatchResult, SharingStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "CSRGraph",
+    "HCSTQuery",
+    "HCsPathQuery",
+    "Direction",
+    "QueryWorkload",
+    "PathEnum",
+    "enumerate_paths",
+    "enumerate_paths_brute_force",
+    "BatchQueryEngine",
+    "batch_enumerate",
+    "ALGORITHMS",
+    "BasicEnum",
+    "run_pathenum_baseline",
+    "BatchEnum",
+    "BatchResult",
+    "SharingStats",
+    "__version__",
+]

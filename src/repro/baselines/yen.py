@@ -1,0 +1,121 @@
+"""Yen-style k-shortest simple path machinery.
+
+Hop-count shortest paths with vertex/edge exclusions and the classic Yen
+deviation loop.  These are the substrate for the adapted ``DkSP`` baseline:
+route-planning algorithms generate paths in non-decreasing length order, so
+adapting them to HC-s-t enumeration means "keep asking for the next
+shortest simple path until it exceeds the hop constraint".
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.enumeration.paths import Path
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import require, require_vertex
+
+
+def shortest_path_hops(
+    graph: DiGraph,
+    s: int,
+    t: int,
+    banned_vertices: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[Tuple[int, int]] = frozenset(),
+) -> Optional[Path]:
+    """Hop-count shortest simple path from ``s`` to ``t`` avoiding the
+    banned vertices/edges, or ``None`` when no such path exists.
+
+    BFS with parent pointers; ``s`` may not be banned (``t`` may — then the
+    answer is ``None``).
+    """
+    require_vertex(s, graph.num_vertices, "s")
+    require_vertex(t, graph.num_vertices, "t")
+    if t in banned_vertices:
+        return None
+    parents: Dict[int, int] = {s: -1}
+    queue = deque([s])
+    while queue:
+        u = queue.popleft()
+        if u == t:
+            break
+        for v in graph.out_neighbors(u):
+            if v in parents or v in banned_vertices or (u, v) in banned_edges:
+                continue
+            parents[v] = u
+            queue.append(v)
+    if t not in parents:
+        return None
+    path: List[int] = [t]
+    while path[-1] != s:
+        path.append(parents[path[-1]])
+    return tuple(reversed(path))
+
+
+def yen_k_shortest_paths(
+    graph: DiGraph,
+    s: int,
+    t: int,
+    max_hops: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Path]:
+    """Generate simple s-t paths in non-decreasing hop order (Yen, 1971).
+
+    Generation stops when the next path would exceed ``max_hops`` hops or
+    when ``limit`` paths have been produced; with both ``None`` it runs
+    until the path space is exhausted.
+    """
+    require(s != t, "source and target must differ")
+    first = shortest_path_hops(graph, s, t)
+    if first is None:
+        return
+    if max_hops is not None and len(first) - 1 > max_hops:
+        return
+
+    produced: List[Path] = [first]
+    yield first
+    if limit is not None and len(produced) >= limit:
+        return
+
+    # Candidate heap entries: (hops, path) — the tie-break on the path tuple
+    # keeps the generation deterministic.
+    candidates: List[Tuple[int, Path]] = []
+    seen_candidates: Set[Path] = {first}
+
+    while True:
+        previous = produced[-1]
+        # Deviate from every prefix of the previously produced path.
+        for spur_index in range(len(previous) - 1):
+            spur_vertex = previous[spur_index]
+            root = previous[: spur_index + 1]
+            banned_edges: Set[Tuple[int, int]] = set()
+            for existing in produced:
+                if existing[: spur_index + 1] == root and len(existing) > spur_index + 1:
+                    banned_edges.add((existing[spur_index], existing[spur_index + 1]))
+            banned_vertices = frozenset(root[:-1])
+            spur = shortest_path_hops(
+                graph,
+                spur_vertex,
+                t,
+                banned_vertices=banned_vertices,
+                banned_edges=frozenset(banned_edges),
+            )
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            if candidate in seen_candidates:
+                continue
+            seen_candidates.add(candidate)
+            heapq.heappush(candidates, (len(candidate) - 1, candidate))
+
+        if not candidates:
+            return
+        hops, best = heapq.heappop(candidates)
+        if max_hops is not None and hops > max_hops:
+            return
+        produced.append(best)
+        yield best
+        if limit is not None and len(produced) >= limit:
+            return

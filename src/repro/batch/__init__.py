@@ -1,0 +1,36 @@
+"""Batch HC-s-t path query processing — the paper's core contribution.
+
+* :mod:`repro.batch.basic_enum` — Algorithm 1 (``BasicEnum``/``BasicEnum+``):
+  shared index, independent per-query enumeration.
+* :mod:`repro.batch.clustering` — Algorithm 2 (``ClusterQuery``).
+* :mod:`repro.batch.detection` — Algorithm 3 (``DetectCommonQuery``) and the
+  query sharing graph Ψ.
+* :mod:`repro.batch.batch_enum` — Algorithm 4 (``BatchEnum``/``BatchEnum+``):
+  shared enumeration with materialised HC-s path queries.
+* :mod:`repro.batch.engine` — the :class:`BatchQueryEngine` facade.
+"""
+
+from repro.batch.results import BatchResult, SharingStats
+from repro.batch.cache import ResultCache
+from repro.batch.sharing_graph import QuerySharingGraph, QueryNode
+from repro.batch.clustering import cluster_queries
+from repro.batch.detection import detect_common_queries, DetectionOutcome
+from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
+from repro.batch.batch_enum import BatchEnum
+from repro.batch.engine import BatchQueryEngine, ALGORITHMS
+
+__all__ = [
+    "BatchResult",
+    "SharingStats",
+    "ResultCache",
+    "QuerySharingGraph",
+    "QueryNode",
+    "cluster_queries",
+    "detect_common_queries",
+    "DetectionOutcome",
+    "BasicEnum",
+    "run_pathenum_baseline",
+    "BatchEnum",
+    "BatchQueryEngine",
+    "ALGORITHMS",
+]

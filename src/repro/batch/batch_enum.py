@@ -1,0 +1,361 @@
+"""Algorithm 4 — ``BatchEnum`` / ``BatchEnum+``: shared batch enumeration.
+
+Processing pipeline for a batch ``Q``:
+
+1. **BuildIndex** — multi-source BFS distance index over all query sources
+   and targets (shared with Algorithm 1).
+2. **ClusterQuery** — Algorithm 2 groups queries by hop-constrained
+   neighbourhood similarity.
+3. **IdentifySubquery** — Algorithm 3 detects, per cluster and per
+   direction, the dominating HC-s path queries and builds the query sharing
+   graphs Ψ (forward) and Ψr (backward).
+4. **Enumeration** — HC-s path query nodes are materialised in topological
+   order of Ψ/Ψr; a node's enumeration splices in the cached results of its
+   providers instead of re-exploring, and the final HC-s-t paths of every
+   query are produced by the ⊕ join of its two root HC-s path results.
+   Cached results are evicted as soon as their last consumer is done.
+
+``BatchEnum+`` uses the search-order optimiser to pick each query's
+forward/backward budget split before detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.cache import ResultCache
+from repro.batch.clustering import cluster_queries
+from repro.batch.detection import DetectionOutcome, detect_common_queries
+from repro.batch.results import BatchResult, SharingStats
+from repro.batch.sharing_graph import QueryNode, QuerySharingGraph
+from repro.bfs.distance_index import DistanceIndex
+from repro.enumeration.join import PathJoinPolicy, join_path_sets
+from repro.enumeration.paths import Path
+from repro.enumeration.search_order import choose_budget_split
+from repro.graph.digraph import DiGraph
+from repro.queries.query import Direction, HCSTQuery, HCsPathQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.timer import StageTimer
+from repro.utils.validation import require
+
+
+class BatchEnum:
+    """The paper's batch HC-s-t path query processing algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    gamma:
+        Clustering threshold γ of Algorithm 2 (paper default 0.5).
+    optimize_search_order:
+        Enable the "+" variant's adaptive budget split.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        gamma: float = 0.5,
+        optimize_search_order: bool = False,
+        max_detection_depth: Optional[int] = 1,
+    ) -> None:
+        require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
+        self.graph = graph
+        self.gamma = gamma
+        self.optimize_search_order = optimize_search_order
+        # How deep DetectCommonQuery expands the joint frontier beyond the
+        # root vertices; None reproduces Algorithm 3 exactly (full depth),
+        # the default of 1 keeps the detection overhead negligible on the
+        # pure-Python substrate while catching the near-root sharing that
+        # dominates in practice (see DESIGN.md).
+        self.max_detection_depth = max_detection_depth
+
+    @property
+    def name(self) -> str:
+        return "BatchEnum+" if self.optimize_search_order else "BatchEnum"
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
+        """Process the batch and return a :class:`BatchResult`."""
+        stage_timer = StageTimer()
+        workload = QueryWorkload(self.graph, queries, stage_timer=stage_timer)
+        result = BatchResult(
+            queries=list(queries), stage_timer=stage_timer, algorithm=self.name
+        )
+        index = workload.index  # BuildIndex
+
+        with stage_timer.stage("ClusterQuery"):
+            clusters = cluster_queries(workload, self.gamma)
+
+        sharing = SharingStats(num_clusters=len(clusters))
+        for cluster in clusters:
+            self._process_cluster(cluster, workload, index, result, sharing)
+        result.sharing = sharing
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Per-cluster processing
+    # ------------------------------------------------------------------ #
+    def _process_cluster(
+        self,
+        cluster: List[int],
+        workload: QueryWorkload,
+        index: DistanceIndex,
+        result: BatchResult,
+        sharing: SharingStats,
+    ) -> None:
+        stage_timer = workload.stage_timer
+        queries_by_position = {
+            position: workload.queries[position] for position in cluster
+        }
+
+        forward_budgets: Dict[int, int] = {}
+        backward_budgets: Dict[int, int] = {}
+        if self.optimize_search_order:
+            # The "+" variant rebalances each query's forward/backward hop
+            # budgets, but queries with the same hop constraint inside one
+            # cluster vote on a single split: mixing splits would break up
+            # otherwise identical root HC-s path queries and destroy the
+            # sharing the cluster was formed for.
+            votes: Dict[int, Dict[int, int]] = {}
+            for position, query in queries_by_position.items():
+                forward, _ = choose_budget_split(query, index)
+                per_k = votes.setdefault(query.k, {})
+                per_k[forward] = per_k.get(forward, 0) + 1
+            chosen = {
+                k: max(counts.items(), key=lambda item: (item[1], item[0]))[0]
+                for k, counts in votes.items()
+            }
+            for position, query in queries_by_position.items():
+                forward = chosen[query.k]
+                forward_budgets[position] = forward
+                backward_budgets[position] = query.k - forward
+        else:
+            for position, query in queries_by_position.items():
+                forward_budgets[position] = query.forward_budget
+                backward_budgets[position] = query.backward_budget
+
+        with stage_timer.stage("IdentifySubquery"):
+            forward_outcome = detect_common_queries(
+                self.graph,
+                queries_by_position,
+                Direction.FORWARD,
+                index,
+                forward_budgets,
+                max_depth=self.max_detection_depth,
+            )
+            backward_outcome = detect_common_queries(
+                self.graph,
+                queries_by_position,
+                Direction.BACKWARD,
+                index,
+                backward_budgets,
+                max_depth=self.max_detection_depth,
+            )
+
+        sharing.num_shared_nodes += (
+            forward_outcome.num_shared_nodes + backward_outcome.num_shared_nodes
+        )
+        sharing.num_hc_s_nodes += len(
+            forward_outcome.sharing_graph.hc_s_path_nodes()
+        ) + len(backward_outcome.sharing_graph.hc_s_path_nodes())
+
+        cache = ResultCache()
+        with stage_timer.stage("Enumeration"):
+            self._materialize(forward_outcome, cache)
+            self._materialize(backward_outcome, cache)
+            self._join_cluster(
+                cluster,
+                queries_by_position,
+                forward_outcome,
+                backward_outcome,
+                cache,
+                result,
+            )
+        sharing.cache_peak_entries = max(
+            sharing.cache_peak_entries, cache.peak_entries
+        )
+        sharing.cache_reuse_count += cache.reuse_count
+
+    def _materialize(self, outcome: DetectionOutcome, cache: ResultCache) -> None:
+        """Enumerate every HC-s path query node of one sharing graph in
+        topological order, reusing cached provider results."""
+        psi = outcome.sharing_graph
+        for node in psi.topological_order():
+            if not isinstance(node, HCsPathQuery):
+                continue
+            paths = self._enumerate_node(node, outcome, cache)
+            consumers = psi.consumers_of(node)
+            cache.put(node, paths, consumers=len(consumers))
+            # This node has finished reading its providers.
+            for provider in psi.providers_of(node):
+                if isinstance(provider, HCsPathQuery):
+                    cache.release(provider)
+
+    def _enumerate_node(
+        self,
+        node: HCsPathQuery,
+        outcome: DetectionOutcome,
+        cache: ResultCache,
+    ) -> List[Path]:
+        """Enumerate all hop-constrained paths of one HC-s path query.
+
+        The search explores the graph in the node's direction.  When it is
+        about to step onto a vertex where one of the node's providers is
+        rooted — and the provider's hop budget covers the remaining need —
+        the provider's cached paths are spliced in instead of re-exploring
+        the subtree (Algorithm 4, Search lines 22-23).
+        """
+        psi = outcome.sharing_graph
+        forward = node.direction is Direction.FORWARD
+        neighbors = (
+            self.graph.out_neighbors if forward else self.graph.in_neighbors
+        )
+        index = outcome.index
+        queries_by_position = outcome.queries_by_position
+        budget_by_position = outcome.budget_by_position
+        served_positions = sorted(outcome.served_queries.get(node, ()))
+
+        providers_at: Dict[int, HCsPathQuery] = {}
+        for provider in psi.providers_of(node):
+            if isinstance(provider, HCsPathQuery):
+                best = providers_at.get(provider.vertex)
+                if best is None or provider.budget > best.budget:
+                    providers_at[provider.vertex] = provider
+
+        # Admissibility (Lemma 3.1 for shared enumerations): stepping onto a
+        # vertex ``v`` with ``r`` hops of this node's budget left is useful
+        # iff some served query can still complete a path through ``v``.
+        # That condition is ``need(v) <= r`` with ``need`` independent of the
+        # current prefix, so it is memoised per vertex; duplicate queries
+        # collapse to a single (endpoint, slack) constant.
+        slack_constants = outcome.slack_constants(node)
+        distance_maps = [
+            ((index.to_target if forward else index.from_source)[endpoint], constant)
+            for endpoint, constant in slack_constants
+        ]
+        infinity = float("inf")
+        need_cache: Dict[int, float] = {}
+
+        def need(vertex: int) -> float:
+            cached_need = need_cache.get(vertex)
+            if cached_need is None:
+                cached_need = infinity
+                for distances, constant in distance_maps:
+                    distance = distances.get(vertex)
+                    if distance is not None and distance + constant < cached_need:
+                        cached_need = distance + constant
+                need_cache[vertex] = cached_need
+            return cached_need
+
+        # A node whose results are only consumed by the final ⊕ join (no
+        # HC-s path query consumers) does not need every intermediate
+        # prefix: the join only reads forward paths that end at a served
+        # target or have length exactly equal to the budget, and backward
+        # paths of any positive length.
+        keep_all = any(
+            isinstance(consumer, HCsPathQuery)
+            for consumer in psi.consumers_of(node)
+        )
+        served_endpoints = {
+            queries_by_position[position].t if forward
+            else queries_by_position[position].s
+            for position in served_positions
+        }
+        budget = node.budget
+
+        def should_record(path_last: int, length: int) -> bool:
+            if keep_all:
+                return True
+            if forward:
+                return length == budget or path_last in served_endpoints
+            return True
+
+        results: List[Path] = []
+        prefix: List[int] = [node.vertex]
+        on_path = {node.vertex}
+
+        def extend(vertex: int, used: int) -> None:
+            if should_record(vertex, used):
+                results.append(tuple(prefix))
+            if used == budget:
+                return
+            remaining = budget - used
+            for neighbor in neighbors(vertex):
+                if neighbor in on_path:
+                    continue
+                if need(neighbor) > remaining:
+                    continue
+                provider = providers_at.get(neighbor)
+                if (
+                    provider is not None
+                    and provider != node
+                    and provider in cache
+                    and provider.budget >= remaining - 1
+                ):
+                    current_prefix = tuple(prefix)
+                    for cached in cache.get(provider):
+                        extra = len(cached) - 1
+                        if extra > remaining - 1:
+                            continue
+                        if not should_record(cached[-1], used + 1 + extra):
+                            continue
+                        if any(v in on_path for v in cached):
+                            continue
+                        results.append(current_prefix + cached)
+                    continue
+                prefix.append(neighbor)
+                on_path.add(neighbor)
+                extend(neighbor, used + 1)
+                prefix.pop()
+                on_path.remove(neighbor)
+
+        extend(node.vertex, 0)
+        return results
+
+    def _join_cluster(
+        self,
+        cluster: List[int],
+        queries_by_position: Dict[int, HCSTQuery],
+        forward_outcome: DetectionOutcome,
+        backward_outcome: DetectionOutcome,
+        cache: ResultCache,
+        result: BatchResult,
+    ) -> None:
+        """Produce every query's HC-s-t paths by joining its two root
+        HC-s path results, then release the roots.
+
+        Queries that are identical up to their batch position (same
+        endpoints, same budgets — common in bursty real workloads) share
+        one join: the joined path list is memoised per
+        (forward root, backward root, budgets, target).
+        """
+        join_memo: Dict[Tuple, List[Path]] = {}
+        for position in cluster:
+            query = queries_by_position[position]
+            forward_root = forward_outcome.root_by_position[position]
+            backward_root = backward_outcome.root_by_position[position]
+            forward_budget = forward_outcome.budget_by_position[position]
+            backward_budget = backward_outcome.budget_by_position[position]
+            memo_key = (
+                forward_root, backward_root, forward_budget, backward_budget, query.t
+            )
+            paths = join_memo.get(memo_key)
+            if paths is None:
+                forward_paths = cache.peek(forward_root)
+                backward_paths = cache.peek(backward_root)
+                require(
+                    forward_paths is not None and backward_paths is not None,
+                    "root HC-s path results were evicted before the final join; "
+                    "this indicates a consumer accounting bug",
+                )
+                policy = PathJoinPolicy(
+                    forward_budget=forward_budget, backward_budget=backward_budget
+                )
+                paths = join_path_sets(forward_paths, backward_paths, query.t, policy)
+                join_memo[memo_key] = paths
+            result.record(position, paths)
+            cache.release(forward_root)
+            cache.release(backward_root)

@@ -1,0 +1,113 @@
+"""High-level facade: :class:`BatchQueryEngine`.
+
+The engine hides the choice of algorithm behind a single ``run`` call and
+is the entry point the examples and the experiment harness use.  Algorithm
+names follow the paper's Section V:
+
+=============  =====================================================
+name           algorithm
+=============  =====================================================
+``pathenum``   PathEnum run per query with per-query indexes
+``basic``      Algorithm 1 (BasicEnum)
+``basic+``     Algorithm 1 with optimised search order (BasicEnum+)
+``batch``      Algorithm 4 (BatchEnum)
+``batch+``     Algorithm 4 with optimised search order (BatchEnum+)
+``dksp``       adapted diversified top-k route planning baseline
+``onepass``    adapted k-shortest-paths-with-limited-overlap baseline
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
+from repro.batch.batch_enum import BatchEnum
+from repro.batch.results import BatchResult
+from repro.graph.digraph import DiGraph
+from repro.queries.query import HCSTQuery
+from repro.utils.validation import require
+
+#: Canonical algorithm names accepted by :class:`BatchQueryEngine`.
+ALGORITHMS = (
+    "pathenum",
+    "basic",
+    "basic+",
+    "batch",
+    "batch+",
+    "dksp",
+    "onepass",
+)
+
+
+class BatchQueryEngine:
+    """One-call batch HC-s-t path query processing.
+
+    Example
+    -------
+    >>> from repro.graph.generators import paper_example_graph
+    >>> from repro.queries.query import HCSTQuery
+    >>> engine = BatchQueryEngine(paper_example_graph(), algorithm="batch+")
+    >>> result = engine.run([HCSTQuery(0, 11, 5), HCSTQuery(2, 13, 5)])
+    >>> len(result.paths_at(0))
+    3
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        algorithm: str = "batch+",
+        gamma: float = 0.5,
+    ) -> None:
+        require(
+            algorithm in ALGORITHMS,
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}",
+        )
+        require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
+        self.graph = graph
+        self.algorithm = algorithm
+        self.gamma = gamma
+
+    def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
+        """Process ``queries`` with the configured algorithm."""
+        require(bool(queries), "the query batch must not be empty")
+        runner = self._runner()
+        return runner(queries)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _runner(self) -> Callable[[Sequence[HCSTQuery]], BatchResult]:
+        if self.algorithm == "pathenum":
+            return lambda queries: run_pathenum_baseline(self.graph, queries)
+        if self.algorithm == "basic":
+            return BasicEnum(self.graph, optimize_search_order=False).run
+        if self.algorithm == "basic+":
+            return BasicEnum(self.graph, optimize_search_order=True).run
+        if self.algorithm == "batch":
+            return BatchEnum(
+                self.graph, gamma=self.gamma, optimize_search_order=False
+            ).run
+        if self.algorithm == "batch+":
+            return BatchEnum(
+                self.graph, gamma=self.gamma, optimize_search_order=True
+            ).run
+        if self.algorithm == "dksp":
+            from repro.baselines.dksp import run_dksp_baseline
+
+            return lambda queries: run_dksp_baseline(self.graph, queries)
+        if self.algorithm == "onepass":
+            from repro.baselines.onepass import run_onepass_baseline
+
+            return lambda queries: run_onepass_baseline(self.graph, queries)
+        raise ValueError(f"unhandled algorithm {self.algorithm!r}")
+
+
+def batch_enumerate(
+    graph: DiGraph,
+    queries: Sequence[HCSTQuery],
+    algorithm: str = "batch+",
+    gamma: float = 0.5,
+) -> BatchResult:
+    """Functional one-shot wrapper around :class:`BatchQueryEngine`."""
+    return BatchQueryEngine(graph, algorithm=algorithm, gamma=gamma).run(queries)

@@ -1,0 +1,95 @@
+"""Result containers for batch runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.enumeration.paths import Path, sort_paths
+from repro.queries.query import HCSTQuery
+from repro.utils.timer import StageTimer
+
+
+@dataclass
+class SharingStats:
+    """Statistics about how much computation the batch run shared.
+
+    Attributes
+    ----------
+    num_clusters:
+        Number of query groups produced by ``ClusterQuery``.
+    num_shared_nodes:
+        Number of *common* HC-s path query nodes detected (nodes with more
+        than one consumer).
+    num_hc_s_nodes:
+        Total HC-s path query nodes enumerated (shared or not).
+    cache_peak_entries:
+        Maximum number of HC-s path result sets resident at once.
+    cache_reuse_count:
+        Number of times a cached HC-s path result was spliced into another
+        enumeration instead of being recomputed.
+    """
+
+    num_clusters: int = 0
+    num_shared_nodes: int = 0
+    num_hc_s_nodes: int = 0
+    cache_peak_entries: int = 0
+    cache_reuse_count: int = 0
+
+
+@dataclass
+class BatchResult:
+    """Results of processing a batch of HC-s-t path queries.
+
+    Paths are stored per query *position* in the submitted batch so that
+    duplicate queries each receive their own (identical) answer, exactly as
+    a query-processing system would return them.
+    """
+
+    queries: List[HCSTQuery]
+    paths_by_position: Dict[int, List[Path]] = field(default_factory=dict)
+    stage_timer: StageTimer = field(default_factory=StageTimer)
+    sharing: SharingStats = field(default_factory=SharingStats)
+    algorithm: str = ""
+
+    def record(self, position: int, paths: Sequence[Path]) -> None:
+        """Store the result paths of the query at ``position``."""
+        self.paths_by_position[position] = list(paths)
+
+    def paths_at(self, position: int) -> List[Path]:
+        """Paths of the query at batch position ``position``."""
+        return list(self.paths_by_position.get(position, []))
+
+    def paths(self, query: HCSTQuery) -> List[Path]:
+        """Paths of the first batch entry equal to ``query``."""
+        for position, candidate in enumerate(self.queries):
+            if candidate == query:
+                return self.paths_at(position)
+        raise KeyError(f"{query} is not part of this batch")
+
+    def counts(self) -> List[int]:
+        """Number of result paths per query position."""
+        return [len(self.paths_at(position)) for position in range(len(self.queries))]
+
+    def total_paths(self) -> int:
+        return sum(self.counts())
+
+    def sorted_paths_at(self, position: int) -> List[Path]:
+        """Canonically ordered paths (for comparisons in tests)."""
+        return sort_paths(self.paths_at(position))
+
+    @property
+    def total_time(self) -> float:
+        return self.stage_timer.overall
+
+    def stage_seconds(self, stage: str) -> float:
+        return self.stage_timer.total(stage)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.algorithm or 'batch'}: {len(self.queries)} queries, "
+            f"{self.total_paths()} paths, {self.total_time:.4f}s "
+            f"({self.sharing.num_shared_nodes} shared HC-s path queries, "
+            f"{self.sharing.num_clusters} clusters)"
+        )

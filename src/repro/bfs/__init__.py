@@ -1,0 +1,13 @@
+"""Breadth-first search substrate and the PathEnum-style distance index."""
+
+from repro.bfs.single_source import bfs_distances, bfs_levels
+from repro.bfs.multi_source import multi_source_bfs
+from repro.bfs.distance_index import DistanceIndex, build_index
+
+__all__ = [
+    "bfs_distances",
+    "bfs_levels",
+    "multi_source_bfs",
+    "DistanceIndex",
+    "build_index",
+]

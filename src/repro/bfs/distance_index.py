@@ -1,0 +1,147 @@
+"""The PathEnum-style distance index for a batch of queries.
+
+For a batch ``Q`` the index stores, for every query source ``s``, the hop
+distance ``dist_G(s, v)`` of every vertex reachable within the relevant hop
+budget, and for every query target ``t`` the distance ``dist_G(v, t)``
+(computed as a BFS from ``t`` on the reverse graph ``Gr``).  Lemma 3.1 of
+the paper justifies pruning any vertex ``v`` from an enumeration whenever
+``dist(s, v)`` or ``dist(v, t)`` exceeds the remaining hop budget.
+
+The index is exactly the structure built in lines 1-2 of Algorithm 1 and
+Algorithm 4 with multi-source BFS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
+
+from repro.bfs.multi_source import multi_source_bfs
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import require, require_positive
+
+INFINITY = math.inf
+
+
+@dataclass
+class DistanceIndex:
+    """Distances from query sources (on ``G``) and to query targets.
+
+    Attributes
+    ----------
+    from_source:
+        ``{s: {v: dist_G(s, v)}}`` for every indexed source ``s``.
+    to_target:
+        ``{t: {v: dist_G(v, t)}}`` for every indexed target ``t`` (built on
+        ``Gr``).
+    max_hops:
+        The hop bound the BFS traversals were truncated at.
+    """
+
+    from_source: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    to_target: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    max_hops: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookups (missing entries are treated as infinity per the paper)
+    # ------------------------------------------------------------------ #
+    def dist_from(self, source: int, vertex: int) -> float:
+        """``dist_G(source, vertex)`` or ``inf`` when unknown/unreachable."""
+        distances = self.from_source.get(source)
+        if distances is None:
+            raise KeyError(f"source {source} is not indexed")
+        return distances.get(vertex, INFINITY)
+
+    def dist_to(self, target: int, vertex: int) -> float:
+        """``dist_G(vertex, target)`` or ``inf`` when unknown/unreachable."""
+        distances = self.to_target.get(target)
+        if distances is None:
+            raise KeyError(f"target {target} is not indexed")
+        return distances.get(vertex, INFINITY)
+
+    def has_source(self, source: int) -> bool:
+        return source in self.from_source
+
+    def has_target(self, target: int) -> bool:
+        return target in self.to_target
+
+    # ------------------------------------------------------------------ #
+    # Hop-constrained neighbourhoods (Definition 4.4)
+    # ------------------------------------------------------------------ #
+    def forward_neighborhood(self, source: int, hops: int) -> FrozenSet[int]:
+        """Γ — vertices reachable from ``source`` within ``hops`` hops."""
+        distances = self.from_source.get(source)
+        if distances is None:
+            raise KeyError(f"source {source} is not indexed")
+        return frozenset(v for v, d in distances.items() if d <= hops)
+
+    def backward_neighborhood(self, target: int, hops: int) -> FrozenSet[int]:
+        """Γr — vertices that can reach ``target`` within ``hops`` hops."""
+        distances = self.to_target.get(target)
+        if distances is None:
+            raise KeyError(f"target {target} is not indexed")
+        return frozenset(v for v, d in distances.items() if d <= hops)
+
+    def forward_level_sizes(self, source: int, hops: int) -> list[int]:
+        """Number of vertices at each exact distance 0..hops from ``source``.
+
+        Used by the search-order optimiser to estimate the cost of giving
+        the forward search a larger share of the hop budget.
+        """
+        sizes = [0] * (hops + 1)
+        for distance in self.from_source.get(source, {}).values():
+            if distance <= hops:
+                sizes[distance] += 1
+        return sizes
+
+    def backward_level_sizes(self, target: int, hops: int) -> list[int]:
+        """Number of vertices at each exact distance 0..hops to ``target``."""
+        sizes = [0] * (hops + 1)
+        for distance in self.to_target.get(target, {}).values():
+            if distance <= hops:
+                sizes[distance] += 1
+        return sizes
+
+    @property
+    def size_in_entries(self) -> int:
+        """Total number of (vertex, distance) entries stored."""
+        total = sum(len(d) for d in self.from_source.values())
+        total += sum(len(d) for d in self.to_target.values())
+        return total
+
+
+def build_index(
+    graph: DiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    max_hops: int,
+) -> DistanceIndex:
+    """Build the batch distance index with two multi-source BFS traversals.
+
+    ``sources`` are expanded forward on ``G``; ``targets`` backward on
+    ``Gr``.  Distances are truncated at ``max_hops`` — Lemma 3.1 never needs
+    larger values because any vertex further away cannot appear on a result
+    path.
+    """
+    require_positive(max_hops, "max_hops")
+    source_list = sorted(set(sources))
+    target_list = sorted(set(targets))
+    require(bool(source_list), "at least one source is required")
+    require(bool(target_list), "at least one target is required")
+    from_source = multi_source_bfs(graph, source_list, max_hops=max_hops, forward=True)
+    to_target = multi_source_bfs(graph, target_list, max_hops=max_hops, forward=False)
+    return DistanceIndex(
+        from_source=from_source, to_target=to_target, max_hops=max_hops
+    )
+
+
+def build_index_for_queries(
+    graph: DiGraph, queries: Sequence[Tuple[int, int, int]]
+) -> DistanceIndex:
+    """Convenience wrapper taking raw ``(s, t, k)`` triples."""
+    require(bool(queries), "queries must be non-empty")
+    sources = [s for s, _, _ in queries]
+    targets = [t for _, t, _ in queries]
+    max_hops = max(k for _, _, k in queries)
+    return build_index(graph, sources, targets, max_hops)

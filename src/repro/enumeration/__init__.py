@@ -1,0 +1,35 @@
+"""Single-query HC-s-t path enumeration algorithms.
+
+* :mod:`repro.enumeration.brute_force` — reference DFS enumerator used by
+  tests and by the Fig. 3(c) materialisation experiment.
+* :mod:`repro.enumeration.path_enum` — PathEnum [Sun et al., SIGMOD'21], the
+  state-of-the-art single-query algorithm the batch approach builds on.
+* :mod:`repro.enumeration.dfs_baseline` — a pruning-based DFS in the style
+  of the earlier literature [11], [12], [14].
+"""
+
+from repro.enumeration.paths import (
+    Path,
+    is_simple,
+    concatenate,
+    validate_path,
+)
+from repro.enumeration.join import join_path_sets, PathJoinPolicy
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.dfs_baseline import enumerate_paths_pruned_dfs
+from repro.enumeration.path_enum import PathEnum, enumerate_paths
+from repro.enumeration.search_order import choose_budget_split
+
+__all__ = [
+    "Path",
+    "is_simple",
+    "concatenate",
+    "validate_path",
+    "join_path_sets",
+    "PathJoinPolicy",
+    "enumerate_paths_brute_force",
+    "enumerate_paths_pruned_dfs",
+    "PathEnum",
+    "enumerate_paths",
+    "choose_budget_split",
+]

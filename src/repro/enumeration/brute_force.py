@@ -1,0 +1,73 @@
+"""Reference brute-force HC-s-t simple path enumeration.
+
+A plain recursive DFS with no index and no pruning beyond the hop budget.
+It is the ground truth every other enumerator is tested against, and it
+plays the role of the unoptimised enumeration cost in the Fig. 3(c)
+materialisation experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.enumeration.paths import Path
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import require, require_non_negative, require_vertex
+
+
+def enumerate_paths_brute_force(
+    graph: DiGraph, s: int, t: int, k: int
+) -> List[Path]:
+    """All simple paths from ``s`` to ``t`` with at most ``k`` hops."""
+    require_vertex(s, graph.num_vertices, "s")
+    require_vertex(t, graph.num_vertices, "t")
+    require_non_negative(k, "k")
+    require(s != t, "source and target must differ")
+
+    results: List[Path] = []
+    prefix: List[int] = [s]
+    on_path = {s}
+
+    def extend(vertex: int, remaining: int) -> None:
+        if vertex == t:
+            results.append(tuple(prefix))
+            return
+        if remaining == 0:
+            return
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in on_path:
+                continue
+            prefix.append(neighbor)
+            on_path.add(neighbor)
+            extend(neighbor, remaining - 1)
+            prefix.pop()
+            on_path.remove(neighbor)
+
+    extend(s, k)
+    return results
+
+
+def count_paths_brute_force(graph: DiGraph, s: int, t: int, k: int) -> int:
+    """Number of HC-s-t simple paths (without materialising them as tuples)."""
+    require_vertex(s, graph.num_vertices, "s")
+    require_vertex(t, graph.num_vertices, "t")
+    require_non_negative(k, "k")
+    require(s != t, "source and target must differ")
+
+    on_path = {s}
+
+    def count_from(vertex: int, remaining: int) -> int:
+        if vertex == t:
+            return 1
+        if remaining == 0:
+            return 0
+        total = 0
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in on_path:
+                continue
+            on_path.add(neighbor)
+            total += count_from(neighbor, remaining - 1)
+            on_path.remove(neighbor)
+        return total
+
+    return count_from(s, k)

@@ -1,0 +1,182 @@
+"""PathEnum — index-based bidirectional HC-s-t path enumeration.
+
+Re-implementation of the single-query state of the art [Sun et al.,
+SIGMOD'21] as described in Section III of the batch paper:
+
+1. Build a light-weight index holding ``dist_G(s, v)`` and ``dist_G(v, t)``
+   for every vertex within the hop constraint (two hop-bounded BFS
+   traversals, or a shared batch index when processing a batch).
+2. Run a *forward* search from ``s`` on ``G`` with hop budget ``⌈k/2⌉`` and
+   a *backward* search from ``t`` on ``Gr`` with hop budget ``⌊k/2⌋``.
+   Lemma 3.1 prunes every neighbour that cannot reach the other endpoint
+   within the remaining budget.
+3. Concatenate the two partial-path sets with the ``⊕`` hash join and keep
+   the simple concatenations.
+
+The class can operate standalone (it builds its own per-query index) or on
+top of a shared :class:`~repro.bfs.distance_index.DistanceIndex`, which is
+how :class:`~repro.batch.basic_enum.BasicEnum` uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bfs.distance_index import DistanceIndex, build_index
+from repro.enumeration.join import PathJoinPolicy, join_path_sets
+from repro.enumeration.paths import Path
+from repro.enumeration.search_order import choose_budget_split
+from repro.graph.digraph import DiGraph
+from repro.queries.query import HCSTQuery
+from repro.utils.validation import require_vertex
+
+
+class PathEnum:
+    """Single-query HC-s-t path enumerator.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph.
+    index:
+        Optional pre-built (batch) distance index covering the query's
+        source and target; when omitted a per-query index is built on
+        demand, which is what the standalone PathEnum baseline does.
+    optimize_search_order:
+        Enable the "+" search-order optimisation (adaptive forward/backward
+        budget split).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        index: Optional[DistanceIndex] = None,
+        optimize_search_order: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.optimize_search_order = optimize_search_order
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def enumerate(self, query: HCSTQuery) -> List[Path]:
+        """Enumerate all HC-s-t simple paths of ``query``."""
+        require_vertex(query.s, self.graph.num_vertices, "query source")
+        require_vertex(query.t, self.graph.num_vertices, "query target")
+        index = self._index_for(query)
+        if index.dist_from(query.s, query.t) > query.k:
+            return []
+
+        if self.optimize_search_order:
+            forward_budget, backward_budget = choose_budget_split(query, index)
+        else:
+            forward_budget, backward_budget = (
+                query.forward_budget,
+                query.backward_budget,
+            )
+        policy = PathJoinPolicy(
+            forward_budget=forward_budget, backward_budget=backward_budget
+        )
+
+        forward_paths = self._search(
+            query, index, forward=True, budget=forward_budget
+        )
+        backward_paths = self._search(
+            query, index, forward=False, budget=backward_budget
+        )
+        return join_path_sets(forward_paths, backward_paths, query.t, policy)
+
+    def count(self, query: HCSTQuery) -> int:
+        """Number of HC-s-t simple paths of ``query``."""
+        return len(self.enumerate(query))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _index_for(self, query: HCSTQuery) -> DistanceIndex:
+        """Return an index covering the query, building one if necessary."""
+        index = self.index
+        if (
+            index is not None
+            and index.has_source(query.s)
+            and index.has_target(query.t)
+            and index.max_hops >= query.k
+        ):
+            return index
+        return build_index(self.graph, [query.s], [query.t], query.k)
+
+    def _search(
+        self,
+        query: HCSTQuery,
+        index: DistanceIndex,
+        forward: bool,
+        budget: int,
+    ) -> List[Path]:
+        """Collect the partial paths of one direction.
+
+        Forward direction: paths from ``s`` on ``G``; a path is collected
+        when it either reaches ``t`` (complete result candidate) or has
+        length exactly ``budget`` (join candidate).  Backward direction:
+        paths from ``t`` on ``Gr`` of length 1..budget (join candidates).
+        Pruning follows Lemma 3.1 — a neighbour is only explored when the
+        hops already used plus its distance to the *other* endpoint still
+        fit within ``k``.
+        """
+        graph = self.graph
+        k = query.k
+        if forward:
+            start, other_end = query.s, query.t
+            neighbors = graph.out_neighbors
+            distance_to_other = lambda v: index.dist_to(query.t, v)  # noqa: E731
+        else:
+            start, other_end = query.t, query.s
+            neighbors = graph.in_neighbors
+            distance_to_other = lambda v: index.dist_from(query.s, v)  # noqa: E731
+
+        collected: List[Path] = []
+        prefix: List[int] = [start]
+        on_path = {start}
+
+        def record_if_needed() -> None:
+            length = len(prefix) - 1
+            if forward:
+                if prefix[-1] == other_end or length == budget:
+                    collected.append(tuple(prefix))
+            else:
+                if 1 <= length <= budget:
+                    collected.append(tuple(prefix))
+
+        def extend(vertex: int, used: int) -> None:
+            record_if_needed()
+            if used == budget:
+                return
+            if vertex == other_end:
+                # A simple s-t path never revisits the other endpoint, so
+                # extending beyond it cannot contribute results.
+                return
+            for neighbor in neighbors(vertex):
+                if neighbor in on_path:
+                    continue
+                if used + 1 + distance_to_other(neighbor) > k:
+                    continue
+                prefix.append(neighbor)
+                on_path.add(neighbor)
+                extend(neighbor, used + 1)
+                prefix.pop()
+                on_path.remove(neighbor)
+
+        extend(start, 0)
+        return collected
+
+
+def enumerate_paths(
+    graph: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    optimize_search_order: bool = False,
+) -> List[Path]:
+    """Convenience wrapper: enumerate the HC-s-t simple paths of one query."""
+    enumerator = PathEnum(graph, optimize_search_order=optimize_search_order)
+    return enumerator.enumerate(HCSTQuery(s=s, t=t, k=k))

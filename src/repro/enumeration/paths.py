@@ -1,0 +1,74 @@
+"""Path primitives.
+
+A path is represented as a tuple of vertex ids ``(v0, v1, ..., vh)``; its
+*length* is the number of hops ``h`` (``len(path) - 1``), matching the
+paper's ``|p|``.  Tuples are hashable, so path sets and hash joins come for
+free, and they are cheap to slice for prefix handling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+
+Path = Tuple[int, ...]
+
+
+def path_length(path: Path) -> int:
+    """Number of hops ``|p|`` of a path."""
+    return len(path) - 1
+
+
+def is_simple(path: Sequence[int]) -> bool:
+    """True when the path has no repeated vertices."""
+    return len(set(path)) == len(path)
+
+
+def concatenate(prefix: Sequence[int], suffix: Sequence[int]) -> Path:
+    """Concatenate two paths that share exactly their junction vertex.
+
+    ``prefix = (..., x)`` and ``suffix = (x, ...)`` produce
+    ``(..., x, ...)``.  Raises ``ValueError`` when the junction vertices do
+    not match; the caller is responsible for checking simplicity (the ⊕
+    operator of Definition 3.1 joins first and filters duplicates later).
+    """
+    if not prefix or not suffix:
+        raise ValueError("cannot concatenate empty paths")
+    if prefix[-1] != suffix[0]:
+        raise ValueError(
+            f"paths do not share a junction vertex: {prefix[-1]} != {suffix[0]}"
+        )
+    return tuple(prefix) + tuple(suffix[1:])
+
+
+def reverse_path(path: Sequence[int]) -> Path:
+    """Reverse a path (used to flip backward-search paths onto ``G``)."""
+    return tuple(reversed(path))
+
+
+def validate_path(
+    graph: DiGraph, path: Sequence[int], s: int, t: int, k: int
+) -> None:
+    """Raise ``AssertionError`` unless ``path`` is a valid HC-s-t simple path.
+
+    Used by tests and by the examples' ``--verify`` mode: the path must
+    start at ``s``, end at ``t``, contain no repeated vertex, follow only
+    existing edges and use at most ``k`` hops.
+    """
+    assert len(path) >= 2, f"path too short: {path}"
+    assert path[0] == s, f"path {path} does not start at {s}"
+    assert path[-1] == t, f"path {path} does not end at {t}"
+    assert is_simple(path), f"path {path} repeats a vertex"
+    assert path_length(path) <= k, f"path {path} exceeds hop constraint {k}"
+    for u, v in zip(path, path[1:]):
+        assert graph.has_edge(u, v), f"edge ({u}, {v}) of path {path} is not in G"
+
+
+def sort_paths(paths: Iterable[Sequence[int]]) -> List[Path]:
+    """Canonical ordering of a path collection (by length, then lexicographic).
+
+    Algorithms return paths in implementation-defined orders; tests compare
+    sorted lists so ordering differences never cause false failures.
+    """
+    return sorted((tuple(p) for p in paths), key=lambda p: (len(p), p))

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+Every table and figure has a dedicated module; each module exposes a
+``run_*`` function returning plain data (rows / series) plus a ``main``
+entry point that prints the same rows the paper reports.  The benchmark
+suite under ``benchmarks/`` calls the same functions with reduced scales.
+"""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    dataset_table,
+)
+from repro.experiments.harness import (
+    AlgorithmRun,
+    run_algorithm,
+    compare_algorithms,
+    DEFAULT_ALGORITHMS,
+)
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "dataset_table",
+    "AlgorithmRun",
+    "run_algorithm",
+    "compare_algorithms",
+    "DEFAULT_ALGORITHMS",
+    "format_table",
+    "format_series",
+]

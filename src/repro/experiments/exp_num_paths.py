@@ -1,0 +1,53 @@
+"""Exp-7 (Fig. 13) — average number of HC-s-t paths when varying k.
+
+For each dataset and each hop constraint k the experiment generates random
+queries and reports the average number of result paths per query; the
+paper observes exponential growth with k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.batch.batch_enum import BatchEnum
+from repro.experiments.datasets import dataset_names, load_dataset
+from repro.experiments.reporting import format_series
+from repro.queries.generation import generate_random_queries
+
+DEFAULT_HOPS: Sequence[int] = (3, 4, 5)
+
+
+def run_num_paths_experiment(
+    dataset: str,
+    hop_constraints: Sequence[int] = DEFAULT_HOPS,
+    num_queries: int = 20,
+    gamma: float = 0.5,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Dict[str, object]:
+    """Average number of HC-s-t paths per query for each hop constraint."""
+    graph = load_dataset(dataset, scale=scale)
+    averages: Dict[int, float] = {}
+    for k in hop_constraints:
+        queries = generate_random_queries(graph, num_queries, min_k=k, max_k=k, seed=seed)
+        result = BatchEnum(graph, gamma=gamma, optimize_search_order=True).run(queries)
+        averages[k] = result.total_paths() / len(queries)
+    return {"dataset": dataset, "average_paths": averages}
+
+
+def run_all(
+    datasets: Sequence[str] | None = None, quick: bool = True, **kwargs
+) -> List[Dict[str, object]]:
+    names = list(datasets) if datasets else dataset_names(quick=quick)
+    return [run_num_paths_experiment(name, **kwargs) for name in names]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    outcomes = run_all(quick=False)
+    series = {outcome["dataset"]: outcome["average_paths"] for outcome in outcomes}
+    print(format_series(series, x_label="k", value_format="{:.1f}",
+                        title="Fig. 13 — average number of HC-s-t paths vs. k"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

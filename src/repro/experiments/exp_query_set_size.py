@@ -1,0 +1,61 @@
+"""Exp-2 (Fig. 8) — efficiency when varying the query set size |Q|.
+
+The paper grows random query sets from 100 to 500 queries and reports the
+processing time of the five algorithms on every dataset.  The reproduction
+uses the same protocol with a configurable size ladder (smaller by default
+so the suite stays fast on the scaled-down datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.datasets import dataset_names, load_dataset
+from repro.experiments.harness import DEFAULT_ALGORITHMS, compare_algorithms
+from repro.experiments.reporting import format_series
+from repro.queries.generation import generate_random_queries
+
+DEFAULT_SIZES: Sequence[int] = (20, 40, 60, 80, 100)
+
+
+def run_query_set_size_experiment(
+    dataset: str,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    min_k: int = 3,
+    max_k: int = 4,
+    gamma: float = 0.5,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Dict[str, object]:
+    """Times of every algorithm for each query set size on one dataset."""
+    graph = load_dataset(dataset, scale=scale)
+    times: Dict[str, Dict[int, float]] = {}
+    for size in sizes:
+        queries = generate_random_queries(
+            graph, size, min_k=min_k, max_k=max_k, seed=seed
+        )
+        runs = compare_algorithms(graph, queries, algorithms, gamma=gamma)
+        for run in runs.values():
+            times.setdefault(run.display_name, {})[size] = run.seconds
+    return {"dataset": dataset, "times": times}
+
+
+def run_all(
+    datasets: Sequence[str] | None = None, quick: bool = True, **kwargs
+) -> List[Dict[str, object]]:
+    names = list(datasets) if datasets else dataset_names(quick=quick)
+    return [run_query_set_size_experiment(name, **kwargs) for name in names]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for outcome in run_all(quick=True):
+        print(format_series(
+            outcome["times"], x_label="|Q|",
+            title=f"Fig. 8 ({outcome['dataset']}) — time (s) vs. query set size",
+        ))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Exp-5 (Fig. 11) — scalability when varying the graph size.
+
+The paper samples 20 %–100 % of the vertices of its two largest graphs
+(Twitter-2010 and Friendster) and reports the processing time of the four
+batch algorithms on the induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.datasets import load_dataset
+from repro.experiments.harness import compare_algorithms
+from repro.experiments.reporting import format_series
+from repro.graph.sampling import sample_vertices
+from repro.queries.generation import generate_random_queries
+
+DEFAULT_FRACTIONS: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0)
+DEFAULT_DATASETS: Sequence[str] = ("TW", "FS")
+SCALABILITY_ALGORITHMS: Sequence[str] = ("basic", "basic+", "batch", "batch+")
+
+
+def run_scalability_experiment(
+    dataset: str = "TW",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    num_queries: int = 30,
+    min_k: int = 3,
+    max_k: int = 4,
+    gamma: float = 0.5,
+    algorithms: Sequence[str] = SCALABILITY_ALGORITHMS,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Dict[str, object]:
+    """Times of the batch algorithms on vertex samples of one dataset."""
+    full_graph = load_dataset(dataset, scale=scale)
+    times: Dict[str, Dict[float, float]] = {}
+    graph_sizes: Dict[float, int] = {}
+    for fraction in fractions:
+        graph = sample_vertices(full_graph, fraction, seed=seed)
+        graph_sizes[fraction] = graph.num_edges
+        try:
+            queries = generate_random_queries(
+                graph, num_queries, min_k=min_k, max_k=max_k, seed=seed
+            )
+        except ValueError:
+            # Heavily sampled graphs can be too fragmented for the requested
+            # batch size; skip the point rather than fail the sweep.
+            continue
+        runs = compare_algorithms(graph, queries, algorithms, gamma=gamma)
+        for run in runs.values():
+            times.setdefault(run.display_name, {})[fraction] = run.seconds
+    return {"dataset": dataset, "times": times, "graph_edges": graph_sizes}
+
+
+def run_all(
+    datasets: Sequence[str] = DEFAULT_DATASETS, **kwargs
+) -> List[Dict[str, object]]:
+    return [run_scalability_experiment(name, **kwargs) for name in datasets]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for outcome in run_all():
+        print(format_series(
+            outcome["times"], x_label="vertex fraction",
+            title=f"Fig. 11 ({outcome['dataset']}) — time (s) vs. graph size",
+        ))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

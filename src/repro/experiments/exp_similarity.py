@@ -1,0 +1,110 @@
+"""Exp-1 (Fig. 7) — processing time and speedup when varying query similarity.
+
+The paper varies the average pairwise similarity µ_Q of a 100-query batch
+from 0 % to 90 % and reports, per dataset, the processing time of PathEnum,
+BasicEnum(+) and BatchEnum(+) plus the speedup of the batch algorithms and
+the theoretical speedup limit ``1 / (1 - µ_Q)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.experiments.datasets import dataset_names, load_dataset
+from repro.experiments.harness import DEFAULT_ALGORITHMS, compare_algorithms
+from repro.experiments.reporting import format_series
+from repro.queries.generation import generate_similar_workload
+
+#: Similarity levels reported by Fig. 7.
+DEFAULT_SIMILARITIES: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def run_similarity_experiment(
+    dataset: str,
+    similarities: Sequence[float] = DEFAULT_SIMILARITIES,
+    num_queries: int = 30,
+    min_k: int = 3,
+    max_k: int = 4,
+    gamma: float = 0.5,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Dict[str, object]:
+    """Return times, speedups and the speedup limit for one dataset.
+
+    Result layout::
+
+        {
+          "dataset": "EP",
+          "achieved_similarity": {0.0: .., 0.2: .., ...},
+          "times":    {"BatchEnum+": {0.0: seconds, ...}, ...},
+          "speedups": {"BatchEnum+": {0.0: x, ...}, "BatchEnum": {...},
+                       "Speedup Limit": {...}},
+        }
+
+    Speedups are measured against the matching non-sharing baseline
+    (BatchEnum vs. BasicEnum, BatchEnum+ vs. BasicEnum+), mirroring how the
+    paper isolates the benefit of computation sharing.
+    """
+    graph = load_dataset(dataset, scale=scale)
+    times: Dict[str, Dict[float, float]] = {}
+    speedups: Dict[str, Dict[float, float]] = {}
+    achieved: Dict[float, float] = {}
+
+    for similarity in similarities:
+        queries, spec = generate_similar_workload(
+            graph,
+            num_queries,
+            target_similarity=similarity,
+            min_k=min_k,
+            max_k=max_k,
+            seed=seed,
+        )
+        achieved[similarity] = spec.achieved_similarity or 0.0
+        runs = compare_algorithms(graph, queries, algorithms, gamma=gamma)
+        for run in runs.values():
+            times.setdefault(run.display_name, {})[similarity] = run.seconds
+        if "batch" in runs and "basic" in runs:
+            speedups.setdefault("BatchEnum", {})[similarity] = (
+                runs["basic"].seconds / max(runs["batch"].seconds, 1e-9)
+            )
+        if "batch+" in runs and "basic+" in runs:
+            speedups.setdefault("BatchEnum+", {})[similarity] = (
+                runs["basic+"].seconds / max(runs["batch+"].seconds, 1e-9)
+            )
+        mu = achieved[similarity]
+        speedups.setdefault("Speedup Limit", {})[similarity] = (
+            1.0 / (1.0 - mu) if mu < 1.0 else float("inf")
+        )
+
+    return {
+        "dataset": dataset,
+        "achieved_similarity": achieved,
+        "times": times,
+        "speedups": speedups,
+    }
+
+
+def run_all(
+    datasets: Sequence[str] | None = None, quick: bool = True, **kwargs
+) -> List[Dict[str, object]]:
+    """Run the experiment for several datasets (Fig. 7 has one panel each)."""
+    names = list(datasets) if datasets else dataset_names(quick=quick)
+    return [run_similarity_experiment(name, **kwargs) for name in names]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for outcome in run_all(quick=True):
+        print(format_series(
+            outcome["times"], x_label="similarity",
+            title=f"Fig. 7 ({outcome['dataset']}) — time (s) vs. query similarity",
+        ))
+        print(format_series(
+            outcome["speedups"], x_label="similarity", value_format="{:.2f}",
+            title=f"Fig. 7 ({outcome['dataset']}) — speedup vs. query similarity",
+        ))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment rows and series.
+
+The paper reports everything as figures; this reproduction prints the same
+data as aligned text tables so the output diffs cleanly and can be pasted
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of homogeneous dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    columns = {header: [str(row.get(header, "")) for row in rows] for header in headers}
+    widths = {
+        header: max(len(header), *(len(value) for value in columns[header]))
+        for header in headers
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[header]) for header in headers))
+    lines.append("  ".join("-" * widths[header] for header in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    value_format: str = "{:.4f}",
+    title: str = "",
+) -> str:
+    """Render ``{series name: {x: y}}`` as a table with one column per series.
+
+    Used for the figure-style experiments (time vs. similarity, vs. |Q|,
+    vs. γ, ...) where every algorithm contributes one curve.
+    """
+    if not series:
+        return f"{title}\n(no series)" if title else "(no series)"
+    x_values: List[object] = []
+    for curve in series.values():
+        for x in curve:
+            if x not in x_values:
+                x_values.append(x)
+    rows = []
+    for x in x_values:
+        row: Dict[str, object] = {x_label: x}
+        for name, curve in series.items():
+            value = curve.get(x)
+            row[name] = value_format.format(value) if value is not None else ""
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,108 @@
+"""Regenerate every table and figure of the paper in one run.
+
+``python -m repro.experiments.run_all`` prints, in order: Table I, Fig. 3(c)
+and Figs. 7-13, using the synthetic dataset suite.  ``--quick`` restricts
+the per-dataset experiments to the four-dataset quick subset, and
+``--queries`` / ``--scale`` rescale the workloads.
+
+The output of this script (with default arguments) is what EXPERIMENTS.md
+records as the "measured" columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments import (
+    datasets,
+    exp_decomposition,
+    exp_gamma,
+    exp_ksp,
+    exp_materialization,
+    exp_num_paths,
+    exp_query_set_size,
+    exp_scalability,
+    exp_similarity,
+)
+from repro.experiments.reporting import format_series, format_table
+
+
+def _float_rows(rows):
+    return [
+        {key: (f"{value:.4f}" if isinstance(value, float) else value)
+         for key, value in row.items()}
+        for row in rows
+    ]
+
+
+def run_everything(quick: bool = True, num_queries: int = 24, scale: float = 1.0) -> None:
+    """Run all experiments and print their tables/series."""
+    names: Sequence[str] = datasets.dataset_names(quick=quick)
+
+    print("=" * 70)
+    print(format_table(datasets.dataset_table(scale=scale),
+                       title="Table I — dataset statistics (synthetic stand-ins)"))
+
+    print("=" * 70)
+    print(format_table(
+        _float_rows(exp_materialization.run_all(datasets=names, num_queries=num_queries, scale=scale)),
+        title="Fig. 3(c) — enumeration vs. materialised retrieval (s/query)",
+    ))
+
+    print("=" * 70)
+    for outcome in exp_similarity.run_all(datasets=names, num_queries=num_queries, scale=scale):
+        print(format_series(outcome["times"], x_label="similarity",
+                            title=f"Fig. 7 ({outcome['dataset']}) — time (s) vs. query similarity"))
+        print(format_series(outcome["speedups"], x_label="similarity", value_format="{:.2f}",
+                            title=f"Fig. 7 ({outcome['dataset']}) — speedup"))
+
+    print("=" * 70)
+    for outcome in exp_query_set_size.run_all(datasets=names, scale=scale):
+        print(format_series(outcome["times"], x_label="|Q|",
+                            title=f"Fig. 8 ({outcome['dataset']}) — time (s) vs. query set size"))
+
+    print("=" * 70)
+    print(format_table(
+        _float_rows(exp_decomposition.run_all(datasets=names, num_queries=num_queries, scale=scale)),
+        title="Fig. 9 — BatchEnum+ processing time decomposition (s)",
+    ))
+
+    print("=" * 70)
+    gamma_outcomes = exp_gamma.run_all(datasets=names, num_queries=num_queries, scale=scale)
+    print(format_series({o["dataset"]: o["times"] for o in gamma_outcomes}, x_label="gamma",
+                        title="Fig. 10 — BatchEnum+ time (s) vs. γ"))
+
+    print("=" * 70)
+    for outcome in exp_scalability.run_all(num_queries=num_queries, scale=scale):
+        print(format_series(outcome["times"], x_label="fraction",
+                            title=f"Fig. 11 ({outcome['dataset']}) — time (s) vs. graph size"))
+
+    print("=" * 70)
+    print(format_table(
+        _float_rows(exp_ksp.run_all(datasets=names, num_queries=max(4, num_queries // 3), scale=scale)),
+        title="Fig. 12 — adapted KSP algorithms vs. BatchEnum+ (s)",
+    ))
+
+    print("=" * 70)
+    path_outcomes = exp_num_paths.run_all(datasets=names, num_queries=num_queries, scale=scale)
+    print(format_series({o["dataset"]: o["average_paths"] for o in path_outcomes},
+                        x_label="k", value_format="{:.1f}",
+                        title="Fig. 13 — average number of HC-s-t paths vs. k"))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every experiment on all twelve datasets")
+    parser.add_argument("--queries", type=int, default=24,
+                        help="batch size used by the workload-based experiments")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (1.0 = default suite)")
+    arguments = parser.parse_args()
+    run_everything(quick=not arguments.full, num_queries=arguments.queries,
+                   scale=arguments.scale)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

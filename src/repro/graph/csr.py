@@ -1,0 +1,89 @@
+"""Immutable compressed sparse row (CSR) snapshot of a :class:`DiGraph`.
+
+The enumeration hot loops only need fast, read-only access to out-neighbour
+lists of ``G`` and ``Gr``.  ``CSRGraph`` packs both directions into flat
+arrays (``array('i')``) which are considerably cheaper to scan in CPython
+than nested Python lists, and guarantees that the graph cannot change while
+an index built from it is alive.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence
+
+from repro.graph.digraph import DiGraph
+
+
+class CSRGraph:
+    """Read-only CSR view with both forward and reverse adjacency.
+
+    ``neighbors(v, forward=True)`` returns the out-neighbours of ``v`` in
+    ``G``; with ``forward=False`` it returns the out-neighbours of ``v`` in
+    ``Gr`` (i.e. the in-neighbours in ``G``).  This mirrors the paper's
+    convention of running a *forward search* on ``G`` and a *backward
+    search* on ``Gr`` with the same code.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "_fwd_offsets",
+        "_fwd_targets",
+        "_bwd_offsets",
+        "_bwd_targets",
+    )
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.num_vertices = graph.num_vertices
+        self.num_edges = graph.num_edges
+        self._fwd_offsets, self._fwd_targets = self._pack(
+            [graph.out_neighbors(v) for v in graph.vertices()]
+        )
+        self._bwd_offsets, self._bwd_targets = self._pack(
+            [graph.in_neighbors(v) for v in graph.vertices()]
+        )
+
+    @staticmethod
+    def _pack(adjacency: List[Sequence[int]]) -> tuple[array, array]:
+        offsets = array("l", [0] * (len(adjacency) + 1))
+        targets = array("l")
+        cursor = 0
+        for v, neighbors in enumerate(adjacency):
+            sorted_neighbors = sorted(neighbors)
+            targets.extend(sorted_neighbors)
+            cursor += len(sorted_neighbors)
+            offsets[v + 1] = cursor
+        return offsets, targets
+
+    def neighbors(self, v: int, forward: bool = True) -> Sequence[int]:
+        """Out-neighbours of ``v`` in ``G`` (forward) or ``Gr`` (backward)."""
+        if forward:
+            offsets, targets = self._fwd_offsets, self._fwd_targets
+        else:
+            offsets, targets = self._bwd_offsets, self._bwd_targets
+        return targets[offsets[v]:offsets[v + 1]]
+
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        return self.neighbors(v, forward=True)
+
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        return self.neighbors(v, forward=False)
+
+    def out_degree(self, v: int) -> int:
+        return self._fwd_offsets[v + 1] - self._fwd_offsets[v]
+
+    def in_degree(self, v: int) -> int:
+        return self._bwd_offsets[v + 1] - self._bwd_offsets[v]
+
+    def adjacency_lists(self, forward: bool = True) -> List[List[int]]:
+        """Materialise plain Python adjacency lists for one direction.
+
+        The recursive enumeration code indexes adjacency by vertex id in a
+        tight loop; plain lists of lists are the fastest structure for that
+        in CPython, so callers typically grab these once per run.
+        """
+        return [list(self.neighbors(v, forward)) for v in range(self.num_vertices)]
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

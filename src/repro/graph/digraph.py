@@ -1,0 +1,154 @@
+"""Mutable unweighted directed graph with integer vertex ids.
+
+The graph stores out- and in-adjacency lists so that forward searches on
+``G`` and backward searches on the reverse graph ``Gr`` (Section II of the
+paper) are both a single list lookup.  Vertex ids are dense integers in
+``[0, num_vertices)``; parallel edges and self loops are rejected because
+the paper's simple-path semantics never uses them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.utils.validation import require, require_non_negative, require_vertex
+
+Edge = Tuple[int, int]
+
+
+class DiGraph:
+    """An unweighted directed graph ``G = (V, E)``.
+
+    Vertices are integers ``0..n-1``.  The class supports incremental
+    construction (:meth:`add_edge`) and bulk construction
+    (:meth:`from_edges`).  ``out_neighbors``/``in_neighbors`` return the
+    adjacency lists used by forward/backward searches.
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        require_non_negative(num_vertices, "num_vertices")
+        self._out: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._in: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._edge_set: set[Edge] = set()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], num_vertices: int | None = None
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(u, v)`` edges.
+
+        If ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+        Duplicate edges are silently ignored; self loops raise.
+        """
+        edge_list = list(edges)
+        if num_vertices is None:
+            num_vertices = 0
+            for u, v in edge_list:
+                num_vertices = max(num_vertices, u + 1, v + 1)
+        graph = cls(num_vertices)
+        for u, v in edge_list:
+            if (u, v) not in graph._edge_set:
+                graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex and return its id."""
+        self._out.append([])
+        self._in.append([])
+        return len(self._out) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``(u, v)``.
+
+        Raises ``ValueError`` on self loops, duplicate edges or out-of-range
+        endpoints.
+        """
+        require_vertex(u, self.num_vertices, "u")
+        require_vertex(v, self.num_vertices, "v")
+        require(u != v, f"self loops are not allowed (got edge ({u}, {v}))")
+        require((u, v) not in self._edge_set, f"duplicate edge ({u}, {v})")
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._edge_set.add((u, v))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate edges in insertion order per source vertex."""
+        for u, neighbors in enumerate(self._out):
+            for v in neighbors:
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._edge_set
+
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        """``G.nbr+(v)`` — successors of ``v``."""
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        """``G.nbr-(v)`` — predecessors of ``v``."""
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """Total degree (in + out), used for the dmax column of Table I."""
+        return len(self._out[v]) + len(self._in[v])
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "DiGraph":
+        """Return ``Gr``: the graph with every edge direction flipped."""
+        reversed_graph = DiGraph(self.num_vertices)
+        for u, v in self.edges():
+            reversed_graph.add_edge(v, u)
+        return reversed_graph
+
+    def copy(self) -> "DiGraph":
+        return DiGraph.from_edges(self.edges(), num_vertices=self.num_vertices)
+
+    def adjacency(self) -> List[List[int]]:
+        """Return a deep copy of the out-adjacency lists."""
+        return [list(neighbors) for neighbors in self._out]
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def to_dict(self) -> Dict[int, List[int]]:
+        """Return ``{vertex: out-neighbor list}`` (useful for debugging)."""
+        return {v: list(self._out[v]) for v in self.vertices()}

@@ -1,0 +1,97 @@
+"""Edge-list graph IO.
+
+The real datasets used by the paper (SNAP / LAW / NetworkRepository) are
+distributed as whitespace-separated edge lists, possibly with ``#`` comment
+headers.  ``read_edge_list`` accepts that format; ``write_edge_list`` writes
+the same format so synthetic datasets can be exported and re-imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    comment_prefix: str = "#",
+    relabel: bool = True,
+) -> DiGraph:
+    """Read a whitespace separated edge list into a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    path:
+        File with one ``u v`` pair per line.
+    comment_prefix:
+        Lines starting with this prefix are skipped (SNAP headers).
+    relabel:
+        If True (default), vertex ids are compacted to ``0..n-1`` in first
+        appearance order — raw SNAP ids are sparse and would otherwise
+        allocate huge adjacency arrays.
+    """
+    edges: List[Tuple[int, int]] = []
+    mapping: Dict[int, int] = {}
+
+    def resolve(raw: int) -> int:
+        if not relabel:
+            return raw
+        if raw not in mapping:
+            mapping[raw] = len(mapping)
+        return mapping[raw]
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment_prefix):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue  # real datasets occasionally contain self loops
+            edges.append((resolve(u), resolve(v)))
+    return DiGraph.from_edges(edges)
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, header: str | None = None) -> None:
+    """Write ``graph`` as a whitespace separated edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_query_file(path: PathLike) -> List[Tuple[int, int, int]]:
+    """Read a query batch file with one ``s t k`` triple per line."""
+    queries: List[Tuple[int, int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 's t k', got {stripped!r}"
+                )
+            queries.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    return queries
+
+
+def write_query_file(queries: Iterable[Tuple[int, int, int]], path: PathLike) -> None:
+    """Write a query batch file with one ``s t k`` triple per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# s t k\n")
+        for s, t, k in queries:
+            handle.write(f"{s} {t} {k}\n")

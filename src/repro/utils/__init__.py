@@ -1,0 +1,18 @@
+"""Shared utilities: timing, deterministic RNG helpers and validation."""
+
+from repro.utils.timer import Timer, StageTimer
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_vertex,
+)
+
+__all__ = [
+    "Timer",
+    "StageTimer",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_vertex",
+]

@@ -1,0 +1,46 @@
+"""Argument validation helpers.
+
+All public entry points of the library validate their inputs eagerly and
+raise :class:`ValueError` with a message naming the offending argument, so
+misuse fails loudly at the API boundary rather than deep inside an
+enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_non_negative(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_positive(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    require_non_negative(value, name)
+    if value == 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_vertex(vertex: Any, num_vertices: int, name: str = "vertex") -> int:
+    """Validate that ``vertex`` is a valid vertex id for a graph with
+    ``num_vertices`` vertices."""
+    if not isinstance(vertex, int) or isinstance(vertex, bool):
+        raise ValueError(f"{name} must be an int, got {type(vertex).__name__}")
+    if not 0 <= vertex < num_vertices:
+        raise ValueError(
+            f"{name}={vertex} is out of range for a graph with {num_vertices} vertices"
+        )
+    return vertex

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    PAPER_EXAMPLE_QUERIES,
+    paper_example_graph,
+    powerlaw_directed,
+    random_directed_gnm,
+)
+from repro.queries.query import HCSTQuery
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """The 16-vertex running example of Fig. 1."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def paper_queries() -> list:
+    """The query batch Q = {q0..q4} of Fig. 1."""
+    return [HCSTQuery(s, t, k) for s, t, k in PAPER_EXAMPLE_QUERIES]
+
+
+@pytest.fixture
+def diamond_graph() -> DiGraph:
+    """A small diamond: two parallel 2-hop routes plus a direct edge."""
+    return DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+
+
+@pytest.fixture
+def random_graph() -> DiGraph:
+    """A moderate random graph used by integration-style tests."""
+    return random_directed_gnm(60, 240, seed=11)
+
+
+@pytest.fixture
+def hub_graph() -> DiGraph:
+    """A small heavy-tailed graph (hubs) used by enumeration tests."""
+    return powerlaw_directed(50, 3, seed=5)

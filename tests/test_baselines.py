@@ -1,0 +1,98 @@
+"""Unit tests for the adapted k-shortest-path baselines (Exp-6)."""
+
+import pytest
+
+from repro.baselines.dksp import enumerate_paths_dksp, run_dksp_baseline
+from repro.baselines.onepass import enumerate_paths_onepass, run_onepass_baseline
+from repro.baselines.yen import shortest_path_hops, yen_k_shortest_paths
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.paths import sort_paths
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import paper_example_graph, random_directed_gnm
+from repro.queries.generation import generate_random_queries
+
+
+def test_shortest_path_hops_basic(diamond_graph):
+    assert shortest_path_hops(diamond_graph, 0, 3) == (0, 3)
+    assert shortest_path_hops(diamond_graph, 3, 0) is None
+
+
+def test_shortest_path_respects_bans(diamond_graph):
+    banned_direct = shortest_path_hops(
+        diamond_graph, 0, 3, banned_edges=frozenset({(0, 3)})
+    )
+    assert banned_direct in ((0, 1, 3), (0, 2, 3))
+    assert (
+        shortest_path_hops(
+            diamond_graph, 0, 3,
+            banned_edges=frozenset({(0, 3)}),
+            banned_vertices=frozenset({1, 2}),
+        )
+        is None
+    )
+
+
+def test_yen_generates_paths_in_hop_order(diamond_graph):
+    paths = list(yen_k_shortest_paths(diamond_graph, 0, 3, max_hops=3))
+    lengths = [len(p) - 1 for p in paths]
+    assert lengths == sorted(lengths)
+    assert sort_paths(paths) == sort_paths([(0, 3), (0, 1, 3), (0, 2, 3)])
+
+
+def test_yen_limit_parameter(diamond_graph):
+    assert len(list(yen_k_shortest_paths(diamond_graph, 0, 3, limit=2))) == 2
+
+
+def test_yen_no_path():
+    graph = DiGraph.from_edges([(0, 1), (2, 3)])
+    assert list(yen_k_shortest_paths(graph, 0, 3, max_hops=5)) == []
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_dksp_matches_brute_force(seed, k):
+    graph = random_directed_gnm(25, 100, seed=seed)
+    expected = sort_paths(enumerate_paths_brute_force(graph, 0, 12, k))
+    assert sort_paths(enumerate_paths_dksp(graph, 0, 12, k)) == expected
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_onepass_matches_brute_force(seed, k):
+    graph = random_directed_gnm(25, 100, seed=seed)
+    expected = sort_paths(enumerate_paths_brute_force(graph, 0, 12, k))
+    assert sort_paths(enumerate_paths_onepass(graph, 0, 12, k)) == expected
+
+
+def test_onepass_emits_paths_in_hop_order():
+    graph = paper_example_graph()
+    paths = enumerate_paths_onepass(graph, 0, 11, 5)
+    lengths = [len(p) - 1 for p in paths]
+    assert lengths == sorted(lengths)
+
+
+def test_ksp_baselines_on_paper_example():
+    graph = paper_example_graph()
+    assert len(enumerate_paths_dksp(graph, 0, 11, 5)) == 3
+    assert len(enumerate_paths_onepass(graph, 2, 13, 5)) == 3
+
+
+def test_ksp_batch_runners_produce_batch_results():
+    graph = random_directed_gnm(40, 200, seed=3)
+    queries = generate_random_queries(graph, 4, min_k=2, max_k=3, seed=1)
+    dksp = run_dksp_baseline(graph, queries)
+    onepass = run_onepass_baseline(graph, queries)
+    assert dksp.algorithm == "DkSP"
+    assert onepass.algorithm == "OnePass"
+    for position, query in enumerate(queries):
+        expected = sort_paths(
+            enumerate_paths_brute_force(graph, query.s, query.t, query.k)
+        )
+        assert dksp.sorted_paths_at(position) == expected
+        assert onepass.sorted_paths_at(position) == expected
+
+
+def test_onepass_validation():
+    graph = DiGraph.from_edges([(0, 1)])
+    with pytest.raises(ValueError):
+        enumerate_paths_onepass(graph, 0, 0, 3)

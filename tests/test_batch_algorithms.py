@@ -1,0 +1,172 @@
+"""Integration tests for BasicEnum, BatchEnum and the engine facade."""
+
+import pytest
+
+from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
+from repro.batch.batch_enum import BatchEnum
+from repro.batch.engine import ALGORITHMS, BatchQueryEngine, batch_enumerate
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.paths import sort_paths, validate_path
+from repro.graph.generators import (
+    paper_example_graph,
+    powerlaw_directed,
+    random_directed_gnm,
+)
+from repro.queries.generation import generate_random_queries, generate_similar_workload
+from repro.queries.query import HCSTQuery
+
+
+def _expected(graph, queries):
+    return [
+        sort_paths(enumerate_paths_brute_force(graph, q.s, q.t, q.k)) for q in queries
+    ]
+
+
+def _assert_matches(result, graph, queries):
+    expected = _expected(graph, queries)
+    for position in range(len(queries)):
+        assert result.sorted_paths_at(position) == expected[position]
+
+
+# --------------------------------------------------------------------- #
+# Paper example
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("algorithm", ["pathenum", "basic", "basic+", "batch", "batch+"])
+def test_all_algorithms_reproduce_paper_example(algorithm, paper_graph, paper_queries):
+    engine = BatchQueryEngine(paper_graph, algorithm=algorithm, gamma=0.8)
+    result = engine.run(paper_queries)
+    assert result.counts() == [3, 3, 1, 2, 2]
+    _assert_matches(result, paper_graph, paper_queries)
+
+
+# --------------------------------------------------------------------- #
+# BasicEnum
+# --------------------------------------------------------------------- #
+def test_basic_enum_matches_brute_force(random_graph):
+    queries = generate_random_queries(random_graph, 8, min_k=2, max_k=4, seed=1)
+    result = BasicEnum(random_graph).run(queries)
+    _assert_matches(result, random_graph, queries)
+    assert result.algorithm == "BasicEnum"
+    assert result.stage_seconds("BuildIndex") >= 0.0
+    assert result.stage_seconds("Enumeration") >= 0.0
+
+
+def test_basic_enum_plus_matches_basic(random_graph):
+    queries = generate_random_queries(random_graph, 8, min_k=2, max_k=4, seed=2)
+    plain = BasicEnum(random_graph, optimize_search_order=False).run(queries)
+    plus = BasicEnum(random_graph, optimize_search_order=True).run(queries)
+    for position in range(len(queries)):
+        assert plain.sorted_paths_at(position) == plus.sorted_paths_at(position)
+
+
+def test_pathenum_baseline_matches(random_graph):
+    queries = generate_random_queries(random_graph, 5, min_k=2, max_k=4, seed=3)
+    result = run_pathenum_baseline(random_graph, queries)
+    _assert_matches(result, random_graph, queries)
+
+
+# --------------------------------------------------------------------- #
+# BatchEnum
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("gamma", [0.0, 0.3, 0.8, 1.0])
+def test_batch_enum_correct_for_all_gammas(random_graph, gamma):
+    queries = generate_random_queries(random_graph, 10, min_k=2, max_k=4, seed=4)
+    result = BatchEnum(random_graph, gamma=gamma).run(queries)
+    _assert_matches(result, random_graph, queries)
+
+
+def test_batch_enum_full_depth_detection_is_correct(random_graph):
+    queries, _ = generate_similar_workload(
+        random_graph, 10, 0.8, min_k=3, max_k=5, seed=5, measure=False
+    )
+    result = BatchEnum(random_graph, gamma=0.5, max_detection_depth=None).run(queries)
+    _assert_matches(result, random_graph, queries)
+
+
+def test_batch_enum_handles_duplicate_queries(random_graph):
+    query = generate_random_queries(random_graph, 1, min_k=3, max_k=3, seed=6)[0]
+    queries = [query] * 5
+    result = BatchEnum(random_graph, gamma=0.5).run(queries)
+    expected = sort_paths(
+        enumerate_paths_brute_force(random_graph, query.s, query.t, query.k)
+    )
+    for position in range(5):
+        assert result.sorted_paths_at(position) == expected
+
+
+def test_batch_enum_on_hub_graph_high_similarity(hub_graph):
+    queries, _ = generate_similar_workload(
+        hub_graph, 12, 0.9, min_k=3, max_k=5, seed=7, measure=False
+    )
+    result = BatchEnum(hub_graph, gamma=0.3, optimize_search_order=True).run(queries)
+    _assert_matches(result, hub_graph, queries)
+    assert result.sharing.num_clusters >= 1
+
+
+def test_batch_enum_results_are_valid_paths(hub_graph):
+    queries = generate_random_queries(hub_graph, 6, min_k=2, max_k=4, seed=8)
+    result = BatchEnum(hub_graph).run(queries)
+    for position, query in enumerate(queries):
+        for path in result.paths_at(position):
+            validate_path(hub_graph, path, s=query.s, t=query.t, k=query.k)
+
+
+def test_batch_enum_no_duplicate_paths(hub_graph):
+    queries, _ = generate_similar_workload(
+        hub_graph, 8, 0.8, min_k=3, max_k=4, seed=9, measure=False
+    )
+    result = BatchEnum(hub_graph, gamma=0.2).run(queries)
+    for position in range(len(queries)):
+        paths = result.paths_at(position)
+        assert len(paths) == len(set(paths))
+
+
+def test_batch_enum_sharing_stats_populated():
+    graph = paper_example_graph()
+    queries = [HCSTQuery(0, 11, 5), HCSTQuery(2, 13, 5), HCSTQuery(5, 12, 5)]
+    result = BatchEnum(graph, gamma=0.5).run(queries)
+    assert result.sharing.num_clusters >= 1
+    assert result.sharing.num_hc_s_nodes >= 3
+    assert result.sharing.num_shared_nodes >= 1
+    assert result.total_time > 0.0
+
+
+def test_batch_enum_invalid_gamma():
+    graph = paper_example_graph()
+    with pytest.raises(ValueError):
+        BatchEnum(graph, gamma=2.0)
+
+
+# --------------------------------------------------------------------- #
+# Engine facade
+# --------------------------------------------------------------------- #
+def test_engine_rejects_unknown_algorithm(paper_graph):
+    with pytest.raises(ValueError):
+        BatchQueryEngine(paper_graph, algorithm="magic")
+
+
+def test_engine_rejects_empty_batch(paper_graph):
+    engine = BatchQueryEngine(paper_graph)
+    with pytest.raises(ValueError):
+        engine.run([])
+
+
+def test_engine_exposes_all_algorithms(paper_graph, paper_queries):
+    assert set(ALGORITHMS) >= {"pathenum", "basic", "basic+", "batch", "batch+"}
+
+
+def test_batch_enumerate_wrapper(paper_graph, paper_queries):
+    result = batch_enumerate(paper_graph, paper_queries, algorithm="batch+", gamma=0.8)
+    assert result.counts() == [3, 3, 1, 2, 2]
+
+
+def test_result_lookup_by_query_object(paper_graph, paper_queries):
+    result = batch_enumerate(paper_graph, paper_queries, algorithm="basic")
+    assert len(result.paths(paper_queries[0])) == 3
+    with pytest.raises(KeyError):
+        result.paths(HCSTQuery(0, 15, 3))
+
+
+def test_result_summary_mentions_algorithm(paper_graph, paper_queries):
+    result = batch_enumerate(paper_graph, paper_queries, algorithm="batch")
+    assert "BatchEnum" in result.summary()

@@ -1,0 +1,49 @@
+"""Unit tests for the CSR snapshot."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+
+
+def test_csr_matches_digraph_small():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (2, 1), (1, 3)])
+    csr = CSRGraph(graph)
+    assert csr.num_vertices == graph.num_vertices
+    assert csr.num_edges == graph.num_edges
+    for v in graph.vertices():
+        assert sorted(csr.out_neighbors(v)) == sorted(graph.out_neighbors(v))
+        assert sorted(csr.in_neighbors(v)) == sorted(graph.in_neighbors(v))
+
+
+def test_csr_matches_digraph_random():
+    graph = random_directed_gnm(80, 400, seed=3)
+    csr = CSRGraph(graph)
+    for v in graph.vertices():
+        assert sorted(csr.neighbors(v, forward=True)) == sorted(graph.out_neighbors(v))
+        assert sorted(csr.neighbors(v, forward=False)) == sorted(graph.in_neighbors(v))
+        assert csr.out_degree(v) == graph.out_degree(v)
+        assert csr.in_degree(v) == graph.in_degree(v)
+
+
+def test_csr_neighbors_sorted():
+    graph = DiGraph.from_edges([(0, 5), (0, 2), (0, 9)], num_vertices=10)
+    csr = CSRGraph(graph)
+    assert list(csr.out_neighbors(0)) == [2, 5, 9]
+
+
+def test_adjacency_lists_roundtrip():
+    graph = random_directed_gnm(30, 90, seed=1)
+    csr = CSRGraph(graph)
+    forward = csr.adjacency_lists(forward=True)
+    backward = csr.adjacency_lists(forward=False)
+    for v in graph.vertices():
+        assert forward[v] == sorted(graph.out_neighbors(v))
+        assert backward[v] == sorted(graph.in_neighbors(v))
+
+
+def test_isolated_vertices_have_no_neighbors():
+    graph = DiGraph(4)
+    graph.add_edge(0, 1)
+    csr = CSRGraph(graph)
+    assert list(csr.out_neighbors(2)) == []
+    assert list(csr.in_neighbors(3)) == []

@@ -1,0 +1,107 @@
+"""Unit tests for the DiGraph container."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+def test_empty_graph():
+    graph = DiGraph()
+    assert graph.num_vertices == 0
+    assert graph.num_edges == 0
+    assert list(graph.edges()) == []
+
+
+def test_add_edge_and_neighbors():
+    graph = DiGraph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    assert graph.num_edges == 2
+    assert list(graph.out_neighbors(0)) == [1]
+    assert list(graph.in_neighbors(2)) == [1]
+    assert graph.has_edge(0, 1)
+    assert not graph.has_edge(1, 0)
+
+
+def test_add_vertex_returns_new_id():
+    graph = DiGraph(2)
+    new_id = graph.add_vertex()
+    assert new_id == 2
+    assert graph.num_vertices == 3
+
+
+def test_self_loop_rejected():
+    graph = DiGraph(2)
+    with pytest.raises(ValueError):
+        graph.add_edge(1, 1)
+
+
+def test_duplicate_edge_rejected():
+    graph = DiGraph(2)
+    graph.add_edge(0, 1)
+    with pytest.raises(ValueError):
+        graph.add_edge(0, 1)
+
+
+def test_out_of_range_vertex_rejected():
+    graph = DiGraph(2)
+    with pytest.raises(ValueError):
+        graph.add_edge(0, 5)
+    with pytest.raises(ValueError):
+        graph.add_edge(-1, 0)
+
+
+def test_from_edges_infers_vertex_count():
+    graph = DiGraph.from_edges([(0, 3), (3, 1)])
+    assert graph.num_vertices == 4
+    assert graph.num_edges == 2
+
+
+def test_from_edges_ignores_duplicates():
+    graph = DiGraph.from_edges([(0, 1), (0, 1), (1, 2)])
+    assert graph.num_edges == 2
+
+
+def test_degrees():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (2, 0)])
+    assert graph.out_degree(0) == 2
+    assert graph.in_degree(0) == 1
+    assert graph.degree(0) == 3
+
+
+def test_reverse_graph():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    reversed_graph = graph.reverse()
+    assert reversed_graph.has_edge(1, 0)
+    assert reversed_graph.has_edge(2, 1)
+    assert reversed_graph.num_edges == graph.num_edges
+    # Reversing twice gives back the original edge set.
+    assert reversed_graph.reverse() == graph
+
+
+def test_copy_is_independent():
+    graph = DiGraph.from_edges([(0, 1)])
+    clone = graph.copy()
+    clone.add_edge(1, 0)
+    assert not graph.has_edge(1, 0)
+    assert clone.has_edge(1, 0)
+
+
+def test_equality_by_structure():
+    a = DiGraph.from_edges([(0, 1), (1, 2)])
+    b = DiGraph.from_edges([(1, 2), (0, 1)])
+    assert a == b
+    b.add_edge(2, 0)
+    assert a != b
+
+
+def test_edges_iteration_matches_edge_count():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert len(list(graph.edges())) == graph.num_edges
+
+
+def test_to_dict():
+    graph = DiGraph.from_edges([(0, 1), (0, 2)])
+    adjacency = graph.to_dict()
+    assert adjacency[0] == [1, 2]
+    assert adjacency[1] == []

@@ -1,0 +1,166 @@
+"""Tests for the experiment harness and per-figure drivers (reduced scales)."""
+
+import math
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.harness import AlgorithmRun, compare_algorithms, run_algorithm
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments import (
+    exp_decomposition,
+    exp_gamma,
+    exp_ksp,
+    exp_materialization,
+    exp_num_paths,
+    exp_query_set_size,
+    exp_scalability,
+    exp_similarity,
+)
+from repro.queries.generation import generate_random_queries
+
+SMALL_SCALE = 0.25  # shrink every dataset for the test suite
+
+
+# --------------------------------------------------------------------- #
+# Dataset suite (Table I)
+# --------------------------------------------------------------------- #
+def test_dataset_registry_has_twelve_named_datasets():
+    names = datasets.dataset_names()
+    assert names == ["EP", "SL", "BK", "WT", "BS", "SK", "UK", "DA", "PO", "LJ", "TW", "FS"]
+
+
+def test_dataset_sizes_preserve_paper_ordering():
+    """The synthetic stand-ins keep the relative |V| ordering of Table I for
+    the extreme datasets."""
+    ep = datasets.load_dataset("EP", scale=SMALL_SCALE)
+    fs = datasets.load_dataset("FS", scale=SMALL_SCALE)
+    assert ep.num_vertices < fs.num_vertices
+
+
+def test_dataset_loading_is_cached_and_deterministic():
+    a = datasets.load_dataset("EP", scale=SMALL_SCALE)
+    b = datasets.load_dataset("EP", scale=SMALL_SCALE)
+    assert a is b
+
+
+def test_dataset_table_rows():
+    rows = datasets.dataset_table(scale=SMALL_SCALE, quick=True)
+    assert len(rows) == len(datasets.QUICK_DATASETS)
+    for row in rows:
+        assert row["|V|"] > 0
+        assert row["|E|"] > 0
+        assert row["davg"] > 0
+    assert "EP" in format_table(rows)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        datasets.load_dataset("NOPE")
+
+
+# --------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------- #
+def test_run_algorithm_records_time_and_paths():
+    graph = datasets.load_dataset("EP", scale=SMALL_SCALE)
+    queries = generate_random_queries(graph, 5, min_k=3, max_k=3, seed=1)
+    run = run_algorithm(graph, queries, "basic")
+    assert isinstance(run, AlgorithmRun)
+    assert run.seconds > 0.0
+    assert run.total_paths >= 0
+    assert run.display_name == "BasicEnum"
+
+
+def test_compare_algorithms_agree_on_path_counts():
+    graph = datasets.load_dataset("EP", scale=SMALL_SCALE)
+    queries = generate_random_queries(graph, 5, min_k=3, max_k=3, seed=2)
+    runs = compare_algorithms(graph, queries, ("basic", "batch", "batch+"))
+    counts = {run.total_paths for run in runs.values()}
+    assert len(counts) == 1
+
+
+def test_reporting_formats():
+    table = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+    assert "T" in table and "22" in table
+    series = format_series({"algo": {1: 0.5, 2: 0.25}}, x_label="n")
+    assert "algo" in series and "0.2500" in series
+    assert "(no rows)" in format_table([])
+
+
+# --------------------------------------------------------------------- #
+# Per-figure drivers (smoke level, reduced scale)
+# --------------------------------------------------------------------- #
+def test_fig7_similarity_experiment_shape():
+    outcome = exp_similarity.run_similarity_experiment(
+        "EP", similarities=(0.0, 0.8), num_queries=8, scale=SMALL_SCALE
+    )
+    assert set(outcome["times"]) >= {"BasicEnum", "BatchEnum", "BatchEnum+"}
+    for curve in outcome["times"].values():
+        assert set(curve) == {0.0, 0.8}
+        assert all(value > 0 for value in curve.values())
+    limits = outcome["speedups"]["Speedup Limit"]
+    assert limits[0.8] >= 1.0
+
+
+def test_fig8_query_set_size_experiment_shape():
+    outcome = exp_query_set_size.run_query_set_size_experiment(
+        "EP", sizes=(4, 8), scale=SMALL_SCALE
+    )
+    for curve in outcome["times"].values():
+        assert set(curve) == {4, 8}
+
+
+def test_fig9_decomposition_covers_all_stages():
+    row = exp_decomposition.run_decomposition_experiment(
+        "EP", num_queries=8, scale=SMALL_SCALE
+    )
+    for stage in exp_decomposition.STAGES:
+        assert stage in row
+        assert row[stage] >= 0.0
+    assert row["total"] >= sum(row[stage] for stage in exp_decomposition.STAGES) * 0.99
+
+
+def test_fig10_gamma_experiment_shape():
+    outcome = exp_gamma.run_gamma_experiment(
+        "EP", gammas=(0.2, 0.8), num_queries=8, scale=SMALL_SCALE
+    )
+    assert set(outcome["times"]) == {0.2, 0.8}
+    # Lower γ merges more aggressively, so it cannot produce more clusters.
+    assert outcome["clusters"][0.2] <= outcome["clusters"][0.8]
+
+
+def test_fig11_scalability_experiment_shape():
+    outcome = exp_scalability.run_scalability_experiment(
+        "TW", fractions=(0.5, 1.0), num_queries=6, scale=0.1
+    )
+    assert outcome["graph_edges"][1.0] >= outcome["graph_edges"][0.5]
+    for curve in outcome["times"].values():
+        assert all(value > 0 for value in curve.values())
+
+
+def test_fig12_ksp_experiment_orders_of_magnitude():
+    row = exp_ksp.run_ksp_experiment("EP", num_queries=3, scale=SMALL_SCALE)
+    assert row["DkSP"] > 0 and row["OnePass"] > 0 and row["BatchEnum+"] > 0
+    # The adapted KSP algorithms must be slower than the batch algorithm.
+    assert row["DkSP / BatchEnum+"] > 1.0
+    assert row["OnePass / BatchEnum+"] > 1.0
+
+
+def test_fig13_path_counts_grow_with_k():
+    outcome = exp_num_paths.run_num_paths_experiment(
+        "EP", hop_constraints=(3, 4), num_queries=8, scale=SMALL_SCALE
+    )
+    averages = outcome["average_paths"]
+    assert averages[4] >= averages[3]
+
+
+def test_fig3c_materialization_gap():
+    row = exp_materialization.run_materialization_experiment(
+        "EP", num_queries=8, scale=SMALL_SCALE
+    )
+    assert row["enumerate (s/query)"] > 0
+    assert row["materialized scan (s/query)"] >= 0
+    assert math.isfinite(row["ratio"])
+    # Scanning materialised results must be much cheaper than enumerating.
+    assert row["ratio"] > 5.0

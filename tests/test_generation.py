@@ -1,0 +1,91 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.bfs.single_source import bfs_distances
+from repro.graph.generators import powerlaw_directed, random_directed_gnm
+from repro.queries.generation import (
+    generate_random_queries,
+    generate_similar_workload,
+    queries_to_triples,
+    triples_to_queries,
+)
+
+
+def test_random_queries_are_reachable_within_k():
+    graph = random_directed_gnm(80, 480, seed=1)
+    queries = generate_random_queries(graph, 15, min_k=2, max_k=4, seed=3)
+    assert len(queries) == 15
+    for query in queries:
+        distances = bfs_distances(graph, query.s, max_hops=query.k)
+        assert query.t in distances
+        assert 2 <= query.k <= 4
+
+
+def test_random_queries_deterministic():
+    graph = random_directed_gnm(60, 300, seed=2)
+    a = generate_random_queries(graph, 10, seed=7)
+    b = generate_random_queries(graph, 10, seed=7)
+    assert a == b
+
+
+def test_random_queries_validation():
+    graph = random_directed_gnm(20, 60, seed=1)
+    with pytest.raises(ValueError):
+        generate_random_queries(graph, 0)
+    with pytest.raises(ValueError):
+        generate_random_queries(graph, 5, min_k=5, max_k=3)
+
+
+def test_similar_workload_size_and_spec():
+    graph = powerlaw_directed(300, 3, seed=4)
+    queries, spec = generate_similar_workload(
+        graph, 20, target_similarity=0.6, min_k=3, max_k=4, seed=1
+    )
+    assert len(queries) == 20
+    assert spec.size == 20
+    assert spec.target_similarity == 0.6
+    assert spec.achieved_similarity is not None
+    assert 0.0 <= spec.achieved_similarity <= 1.0
+
+
+def test_similar_workload_zero_similarity_is_random():
+    graph = random_directed_gnm(200, 1200, seed=5)
+    queries, spec = generate_similar_workload(
+        graph, 12, target_similarity=0.0, min_k=3, max_k=3, seed=2, measure=False
+    )
+    assert len(queries) == 12
+    # At similarity 0 no group structure is imposed: sources are diverse.
+    assert len({q.s for q in queries}) > 3
+
+
+def test_similar_workload_high_similarity_groups_sources():
+    graph = random_directed_gnm(200, 1200, seed=6)
+    queries, _ = generate_similar_workload(
+        graph, 12, target_similarity=0.9, min_k=3, max_k=4, seed=3, measure=False
+    )
+    # A 0.9 target forces most queries into one group sharing a source.
+    most_common_source = max(
+        {q.s for q in queries}, key=lambda s: sum(1 for q in queries if q.s == s)
+    )
+    assert sum(1 for q in queries if q.s == most_common_source) >= 8
+
+
+def test_similar_workload_similarity_monotone_in_target():
+    graph = random_directed_gnm(400, 2000, seed=7)
+    _, low = generate_similar_workload(graph, 16, 0.0, min_k=3, max_k=3, seed=4)
+    _, high = generate_similar_workload(graph, 16, 0.9, min_k=3, max_k=3, seed=4)
+    assert high.achieved_similarity >= low.achieved_similarity
+
+
+def test_similar_workload_validation():
+    graph = random_directed_gnm(30, 120, seed=1)
+    with pytest.raises(ValueError):
+        generate_similar_workload(graph, 10, target_similarity=1.5)
+
+
+def test_triples_roundtrip():
+    graph = random_directed_gnm(40, 200, seed=8)
+    queries = generate_random_queries(graph, 5, seed=9)
+    triples = queries_to_triples(queries)
+    assert triples_to_queries(triples) == queries

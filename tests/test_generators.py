@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    PAPER_EXAMPLE_QUERIES,
+    degree_histogram,
+    layered_dag,
+    paper_example_graph,
+    powerlaw_directed,
+    random_directed_gnm,
+    random_queries_reachable,
+    small_world_directed,
+)
+
+
+def test_paper_example_graph_shape():
+    graph = paper_example_graph()
+    assert graph.num_vertices == 16
+    assert graph.num_edges == 21
+    # A few structurally important edges from the worked examples.
+    assert graph.has_edge(0, 1)
+    assert graph.has_edge(0, 4)
+    assert graph.has_edge(12, 11)
+    assert graph.has_edge(6, 14)
+
+
+def test_paper_example_queries_are_well_formed():
+    graph = paper_example_graph()
+    for s, t, k in PAPER_EXAMPLE_QUERIES:
+        assert 0 <= s < graph.num_vertices
+        assert 0 <= t < graph.num_vertices
+        assert k >= 1
+
+
+def test_gnm_exact_edge_count():
+    graph = random_directed_gnm(50, 200, seed=7)
+    assert graph.num_vertices == 50
+    assert graph.num_edges == 200
+
+
+def test_gnm_deterministic():
+    a = random_directed_gnm(40, 100, seed=1)
+    b = random_directed_gnm(40, 100, seed=1)
+    c = random_directed_gnm(40, 100, seed=2)
+    assert a == b
+    assert a != c
+
+
+def test_gnm_rejects_too_many_edges():
+    with pytest.raises(ValueError):
+        random_directed_gnm(3, 100)
+
+
+def test_powerlaw_has_heavy_tail():
+    graph = powerlaw_directed(300, 3, seed=2)
+    degrees = sorted((graph.in_degree(v) for v in graph.vertices()), reverse=True)
+    # The most popular vertex should attract far more than the average.
+    average = sum(degrees) / len(degrees)
+    assert degrees[0] > 4 * average
+
+
+def test_powerlaw_deterministic():
+    assert powerlaw_directed(100, 3, seed=9) == powerlaw_directed(100, 3, seed=9)
+
+
+def test_small_world_out_degree():
+    graph = small_world_directed(60, 4, rewire_probability=0.0, seed=0)
+    # Without rewiring every vertex links to its next 4 ring neighbours.
+    assert all(graph.out_degree(v) == 4 for v in graph.vertices())
+
+
+def test_small_world_rewire_probability_validation():
+    with pytest.raises(ValueError):
+        small_world_directed(10, 2, rewire_probability=1.5)
+
+
+def test_layered_dag_paths_only_move_forward():
+    graph = layered_dag(num_layers=4, layer_width=5, edges_per_vertex=2, seed=3)
+    for u, v in graph.edges():
+        assert v // 5 == u // 5 + 1
+
+
+def test_random_queries_reachable():
+    graph = random_directed_gnm(60, 400, seed=4)
+    queries = random_queries_reachable(graph, 10, min_k=2, max_k=4, seed=1)
+    assert len(queries) == 10
+    for s, t, k in queries:
+        assert s != t
+        assert 2 <= k <= 4
+
+
+def test_degree_histogram_sums_to_vertex_count():
+    graph = random_directed_gnm(40, 120, seed=6)
+    histogram = degree_histogram(graph)
+    assert sum(histogram.values()) == graph.num_vertices

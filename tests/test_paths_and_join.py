@@ -1,0 +1,96 @@
+"""Unit tests for path primitives and the ⊕ join."""
+
+import pytest
+
+from repro.enumeration.join import PathJoinPolicy, join_path_sets
+from repro.enumeration.paths import (
+    concatenate,
+    is_simple,
+    path_length,
+    reverse_path,
+    sort_paths,
+    validate_path,
+)
+from repro.graph.digraph import DiGraph
+
+
+def test_path_length_and_simplicity():
+    assert path_length((0, 1, 2)) == 2
+    assert is_simple((0, 1, 2))
+    assert not is_simple((0, 1, 0))
+
+
+def test_concatenate_requires_matching_junction():
+    assert concatenate((0, 1), (1, 2, 3)) == (0, 1, 2, 3)
+    with pytest.raises(ValueError):
+        concatenate((0, 1), (2, 3))
+    with pytest.raises(ValueError):
+        concatenate((), (1,))
+
+
+def test_reverse_path():
+    assert reverse_path((0, 1, 2)) == (2, 1, 0)
+
+
+def test_validate_path_accepts_valid_and_rejects_invalid():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    validate_path(graph, (0, 1, 2), s=0, t=2, k=2)
+    with pytest.raises(AssertionError):
+        validate_path(graph, (0, 1, 2), s=0, t=2, k=1)     # too long
+    with pytest.raises(AssertionError):
+        validate_path(graph, (0, 2), s=0, t=2, k=2)        # missing edge
+    with pytest.raises(AssertionError):
+        validate_path(graph, (1, 2), s=0, t=2, k=2)        # wrong source
+
+
+def test_sort_paths_is_canonical():
+    paths = [(0, 2, 3), (0, 1), (0, 1, 3)]
+    assert sort_paths(paths) == [(0, 1), (0, 1, 3), (0, 2, 3)]
+
+
+def test_join_short_path_uses_forward_complete_case():
+    # Path 0 -> 3 of length 1 must come from the forward side only.
+    forward = [(0,), (0, 3), (0, 1)]
+    backward = [(3,), (3, 1)]
+    policy = PathJoinPolicy(forward_budget=2, backward_budget=1)
+    joined = join_path_sets(forward, backward, target=3, policy=policy)
+    assert (0, 3) in joined
+
+
+def test_join_produces_no_duplicates_for_multi_split_paths():
+    # The path 0-1-3 (length 2 <= forward budget) could also be formed by
+    # joining prefix (0, 1) with suffix (1, 3); the split rule must emit it
+    # exactly once.
+    forward = [(0,), (0, 1), (0, 1, 3)]
+    backward = [(3,), (3, 1)]
+    policy = PathJoinPolicy(forward_budget=2, backward_budget=1)
+    joined = join_path_sets(forward, backward, target=3, policy=policy)
+    assert joined.count((0, 1, 3)) == 1
+
+
+def test_join_connects_forward_and_backward_halves():
+    # forward: 0 -> 1 -> 2 (budget 2); backward from 4 on Gr: 4 <- 3 <- 2.
+    forward = [(0, 1, 2)]
+    backward = [(4, 3, 2)]
+    policy = PathJoinPolicy(forward_budget=2, backward_budget=2)
+    joined = join_path_sets(forward, backward, target=4, policy=policy)
+    assert joined == [(0, 1, 2, 3, 4)]
+
+
+def test_join_rejects_non_simple_combinations():
+    forward = [(0, 1, 2)]
+    backward = [(4, 1, 2)]  # re-orients to 2 -> 1 -> 4, repeating vertex 1
+    policy = PathJoinPolicy(forward_budget=2, backward_budget=2)
+    assert join_path_sets(forward, backward, target=4, policy=policy) == []
+
+
+def test_join_respects_budgets():
+    # Forward paths longer than the forward budget must be ignored.
+    forward = [(0, 1, 2, 3)]
+    backward = [(5, 4, 3)]
+    policy = PathJoinPolicy(forward_budget=2, backward_budget=2)
+    assert join_path_sets(forward, backward, target=5, policy=policy) == []
+
+
+def test_join_policy_hop_constraint():
+    assert PathJoinPolicy(3, 2).hop_constraint == 5

@@ -1,0 +1,132 @@
+"""Unit tests for the query sharing graph Ψ and the result cache R."""
+
+import pytest
+
+from repro.batch.cache import ResultCache
+from repro.batch.sharing_graph import QueryNode, QuerySharingGraph
+from repro.queries.query import Direction, HCsPathQuery
+
+
+def _node(vertex, budget, direction=Direction.FORWARD):
+    return HCsPathQuery(vertex, budget, direction)
+
+
+def test_add_nodes_and_edges():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    provider = _node(1, 2)
+    consumer = _node(0, 3)
+    psi.add_edge(provider, consumer)
+    assert provider in psi
+    assert psi.consumers_of(provider) == [consumer]
+    assert psi.providers_of(consumer) == [provider]
+    assert psi.num_nodes == 2
+    assert psi.num_edges == 1
+
+
+def test_duplicate_edges_ignored():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    provider, consumer = _node(1, 2), _node(0, 3)
+    psi.add_edge(provider, consumer)
+    psi.add_edge(provider, consumer)
+    assert psi.num_edges == 1
+
+
+def test_self_edge_rejected():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    node = _node(1, 2)
+    with pytest.raises(ValueError):
+        psi.add_edge(node, node)
+
+
+def test_direction_mismatch_rejected():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    with pytest.raises(ValueError):
+        psi.add_node(_node(1, 2, Direction.BACKWARD))
+
+
+def test_cycle_detection_and_rejection():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    a, b, c = _node(0, 3), _node(1, 2), _node(2, 1)
+    psi.add_edge(a, b)
+    psi.add_edge(b, c)
+    assert psi.would_create_cycle(c, a)
+    with pytest.raises(ValueError):
+        psi.add_edge(c, a)
+    assert psi.is_dag()
+
+
+def test_topological_order_providers_first():
+    psi = QuerySharingGraph(Direction.FORWARD)
+    common = _node(5, 1)
+    root_a, root_b = _node(0, 3), _node(1, 3)
+    query_a, query_b = QueryNode(0), QueryNode(1)
+    psi.add_edge(root_a, query_a)
+    psi.add_edge(root_b, query_b)
+    psi.add_edge(common, root_a)
+    psi.add_edge(common, root_b)
+    order = psi.topological_order()
+    assert order.index(common) < order.index(root_a)
+    assert order.index(common) < order.index(root_b)
+    assert order.index(root_a) < order.index(query_a)
+    assert len(order) == psi.num_nodes
+
+
+def test_node_type_accessors():
+    psi = QuerySharingGraph(Direction.BACKWARD)
+    root = _node(3, 2, Direction.BACKWARD)
+    psi.add_edge(root, QueryNode(7))
+    assert psi.hc_s_path_nodes() == [root]
+    assert psi.query_nodes() == [QueryNode(7)]
+
+
+def test_cache_put_get_and_reuse_count():
+    cache = ResultCache()
+    node = _node(0, 2)
+    cache.put(node, [(0,), (0, 1)], consumers=2)
+    assert node in cache
+    assert cache.get(node) == [(0,), (0, 1)]
+    assert cache.reuse_count == 1
+    assert cache.peek(node) is not None
+
+
+def test_cache_zero_consumers_not_stored():
+    cache = ResultCache()
+    node = _node(0, 2)
+    cache.put(node, [(0,)], consumers=0)
+    assert node not in cache
+
+
+def test_cache_eviction_after_last_consumer():
+    cache = ResultCache()
+    node = _node(0, 2)
+    cache.put(node, [(0,)], consumers=2)
+    cache.release(node)
+    assert node in cache
+    cache.release(node)
+    assert node not in cache
+    assert cache.evicted_count == 1
+    with pytest.raises(KeyError):
+        cache.get(node)
+
+
+def test_cache_release_unknown_node_is_noop():
+    cache = ResultCache()
+    cache.release(_node(9, 1))  # must not raise
+
+
+def test_cache_peak_entries_tracks_high_water_mark():
+    cache = ResultCache()
+    a, b = _node(0, 1), _node(1, 1)
+    cache.put(a, [(0,)], consumers=1)
+    cache.put(b, [(1,)], consumers=1)
+    cache.release(a)
+    assert cache.peak_entries == 2
+    assert cache.live_entries == 1
+
+
+def test_cache_double_put_rejected():
+    cache = ResultCache()
+    node = _node(0, 1)
+    cache.put(node, [(0,)], consumers=1)
+    with pytest.raises(ValueError):
+        cache.put(node, [(0,)], consumers=1)

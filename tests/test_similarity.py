@@ -1,0 +1,116 @@
+"""Unit tests for the query similarity measures (Definitions 4.4-4.6)."""
+
+import pytest
+
+from repro.bfs.distance_index import build_index_for_queries
+from repro.graph.generators import paper_example_graph, random_directed_gnm
+from repro.queries.query import HCSTQuery
+from repro.queries.similarity import (
+    QuerySimilarityMatrix,
+    group_similarity,
+    neighborhoods,
+    query_similarity,
+    similarity_from_neighborhoods,
+    workload_similarity,
+)
+
+
+def _paper_index(queries):
+    graph = paper_example_graph()
+    return build_index_for_queries(graph, [(q.s, q.t, q.k) for q in queries])
+
+
+def test_similarity_is_symmetric_and_bounded():
+    graph = random_directed_gnm(50, 300, seed=3)
+    queries = [HCSTQuery(0, 10, 3), HCSTQuery(1, 11, 4), HCSTQuery(2, 12, 3)]
+    index = build_index_for_queries(graph, [(q.s, q.t, q.k) for q in queries])
+    for a in queries:
+        for b in queries:
+            mu_ab = query_similarity(a, b, index)
+            mu_ba = query_similarity(b, a, index)
+            assert mu_ab == pytest.approx(mu_ba)
+            assert 0.0 <= mu_ab <= 1.0
+
+
+def test_identical_queries_have_similarity_one():
+    queries = [HCSTQuery(0, 11, 5), HCSTQuery(0, 11, 5)]
+    index = _paper_index(queries)
+    assert query_similarity(queries[0], queries[1], index) == pytest.approx(1.0)
+
+
+def test_disjoint_neighborhoods_have_similarity_zero():
+    forward_a, backward_a = frozenset({1, 2}), frozenset({3})
+    forward_b, backward_b = frozenset({7, 8}), frozenset({9})
+    assert similarity_from_neighborhoods(forward_a, backward_a, forward_b, backward_b) == 0.0
+
+
+def test_one_sided_overlap_is_zero():
+    """The footnote of Definition 4.5: any empty intersection zeroes µ."""
+    forward_a, backward_a = frozenset({1, 2}), frozenset({3})
+    forward_b, backward_b = frozenset({1, 2}), frozenset({9})
+    assert similarity_from_neighborhoods(forward_a, backward_a, forward_b, backward_b) == 0.0
+
+
+def test_paper_example_q3_q4_similarity_is_one():
+    """Example 4.1: µ(q3, q4) = 1."""
+    q3 = HCSTQuery(4, 14, 4)
+    q4 = HCSTQuery(9, 14, 3)
+    index = _paper_index([q3, q4])
+    assert query_similarity(q3, q4, index) == pytest.approx(1.0)
+
+
+def test_paper_example_q0_q1_similarity():
+    """Example 4.1 / Fig. 4: µ(q0, q1) ≈ 0.93."""
+    q0 = HCSTQuery(0, 11, 5)
+    q1 = HCSTQuery(2, 13, 5)
+    index = _paper_index([q0, q1])
+    assert query_similarity(q0, q1, index) == pytest.approx(0.93, abs=0.02)
+
+
+def test_paper_example_neighborhoods_match_example_4_1():
+    q3 = HCSTQuery(4, 14, 4)
+    index = _paper_index([q3])
+    forward, backward = neighborhoods(q3, index)
+    assert forward == frozenset({4, 9, 3, 8, 15, 6, 11, 13, 14})
+    assert backward == frozenset({14, 6, 3, 15, 9, 4})
+
+
+def test_matrix_matches_pairwise_function():
+    graph = random_directed_gnm(40, 240, seed=5)
+    queries = [HCSTQuery(0, 8, 3), HCSTQuery(1, 9, 3), HCSTQuery(0, 9, 4)]
+    index = build_index_for_queries(graph, [(q.s, q.t, q.k) for q in queries])
+    matrix = QuerySimilarityMatrix.from_queries(queries, index)
+    for i, a in enumerate(queries):
+        assert matrix.get(i, i) == 1.0
+        for j, b in enumerate(queries):
+            if i != j:
+                assert matrix.get(i, j) == pytest.approx(
+                    query_similarity(a, b, index), abs=1e-9
+                )
+
+
+def test_matrix_average_equals_workload_similarity():
+    graph = random_directed_gnm(40, 240, seed=6)
+    queries = [HCSTQuery(0, 8, 3), HCSTQuery(1, 9, 3), HCSTQuery(2, 10, 4)]
+    index = build_index_for_queries(graph, [(q.s, q.t, q.k) for q in queries])
+    matrix = QuerySimilarityMatrix.from_queries(queries, index)
+    assert matrix.average() == pytest.approx(workload_similarity(queries, index))
+
+
+def test_group_similarity_average():
+    pairs = [
+        (frozenset({1, 2}), frozenset({3, 4})),
+        (frozenset({1, 2}), frozenset({3, 4})),
+        (frozenset({9}), frozenset({10})),
+    ]
+    matrix = QuerySimilarityMatrix.from_neighborhood_sets(pairs)
+    # Queries 0 and 1 are identical; query 2 is disjoint from both.
+    assert group_similarity([0], [1], matrix) == pytest.approx(1.0)
+    assert group_similarity([0, 1], [2], matrix) == pytest.approx(0.0)
+
+
+def test_workload_similarity_single_query_is_zero():
+    graph = random_directed_gnm(20, 80, seed=1)
+    queries = [HCSTQuery(0, 5, 3)]
+    index = build_index_for_queries(graph, [(0, 5, 3)])
+    assert workload_similarity(queries, index) == 0.0
