@@ -1,4 +1,9 @@
-"""Fig. 11 — scalability on vertex samples of the two largest datasets (Exp-5)."""
+"""Fig. 11 — scalability on vertex samples of the two largest datasets (Exp-5).
+
+Extended with a ``num_workers`` axis: each algorithm runs single-process
+and with the sharded parallel executor so the speedup (or, on tiny shards,
+the process-pool overhead) is visible in the same benchmark group.
+"""
 
 import pytest
 
@@ -10,6 +15,7 @@ from repro.queries.generation import generate_random_queries
 FRACTIONS = (0.4, 0.7, 1.0)
 ALGORITHMS = ("basic", "basic+", "batch", "batch+")
 DATASETS = ("TW", "FS")
+NUM_WORKERS = (1, 2)
 
 
 def _workload(dataset: str, fraction: float):
@@ -21,10 +27,14 @@ def _workload(dataset: str, fraction: float):
 @pytest.mark.parametrize("dataset", DATASETS)
 @pytest.mark.parametrize("fraction", FRACTIONS)
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_fig11_time_vs_graph_size(benchmark, dataset, fraction, algorithm):
+@pytest.mark.parametrize("num_workers", NUM_WORKERS)
+def test_fig11_time_vs_graph_size(benchmark, dataset, fraction, algorithm, num_workers):
     graph, queries = _workload(dataset, fraction)
-    engine = BatchQueryEngine(graph, algorithm=algorithm, gamma=0.5)
+    engine = BatchQueryEngine(
+        graph, algorithm=algorithm, gamma=0.5, num_workers=num_workers
+    )
     benchmark.group = f"fig11-{dataset}-{int(fraction * 100)}pct"
     result = benchmark.pedantic(engine.run, args=(queries,), rounds=1, iterations=1)
     benchmark.extra_info["graph_edges"] = graph.num_edges
+    benchmark.extra_info["num_workers"] = num_workers
     benchmark.extra_info["paths"] = result.total_paths()

@@ -1,0 +1,108 @@
+"""Single- vs multi-worker wall-time harness (perf trajectory artifact).
+
+Runs the Fig. 11 synthetic scalability workloads through
+:class:`~repro.batch.engine.BatchQueryEngine` at several ``num_workers``
+settings, verifies that every parallel run returns exactly the
+single-process results, and writes a ``BENCH_workers.json`` artifact next
+to this file so successive PRs can track the parallel executor's overhead
+and speedup.
+
+Standalone by design (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_workers.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.batch.engine import BatchQueryEngine
+from repro.experiments.datasets import load_dataset
+from repro.graph.sampling import sample_vertices
+from repro.queries.generation import generate_random_queries
+
+DATASETS = ("TW", "FS")
+FRACTIONS = (0.4, 1.0)
+ALGORITHMS = ("basic+", "batch+")
+WORKER_COUNTS = (1, 2, 4)
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_workers.json"
+
+
+def _workload(dataset: str, fraction: float):
+    graph = sample_vertices(load_dataset(dataset), fraction, seed=0)
+    queries = generate_random_queries(graph, 15, min_k=3, max_k=4, seed=0)
+    return graph, queries
+
+
+def run(quick: bool = False) -> dict:
+    datasets = DATASETS[:1] if quick else DATASETS
+    fractions = FRACTIONS[:1] if quick else FRACTIONS
+    records = []
+    for dataset in datasets:
+        for fraction in fractions:
+            graph, queries = _workload(dataset, fraction)
+            baseline_paths = None
+            for algorithm in ALGORITHMS:
+                for num_workers in WORKER_COUNTS:
+                    engine = BatchQueryEngine(
+                        graph,
+                        algorithm=algorithm,
+                        gamma=0.5,
+                        num_workers=num_workers,
+                    )
+                    start = time.perf_counter()
+                    result = engine.run(queries)
+                    wall = time.perf_counter() - start
+                    counts = result.counts()
+                    if baseline_paths is None:
+                        baseline_paths = counts
+                    assert counts == baseline_paths, (
+                        f"{algorithm}/num_workers={num_workers} diverged from "
+                        f"the baseline result counts"
+                    )
+                    records.append(
+                        {
+                            "dataset": dataset,
+                            "fraction": fraction,
+                            "algorithm": algorithm,
+                            "num_workers": num_workers,
+                            "wall_seconds": round(wall, 6),
+                            "total_paths": result.total_paths(),
+                            "num_clusters": result.sharing.num_clusters,
+                            "graph_vertices": graph.num_vertices,
+                            "graph_edges": graph.num_edges,
+                        }
+                    )
+                    print(
+                        f"{dataset} x{fraction:>4} {algorithm:<7} "
+                        f"workers={num_workers} {wall:8.3f}s "
+                        f"paths={result.total_paths()}"
+                    )
+    return {
+        "benchmark": "bench_workers",
+        "python": platform.python_version(),
+        "worker_counts": list(WORKER_COUNTS),
+        "records": records,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="one dataset, one fraction"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=ARTIFACT, help="artifact path"
+    )
+    args = parser.parse_args()
+    payload = run(quick=args.quick)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

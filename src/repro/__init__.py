@@ -15,6 +15,16 @@ Quickstart
 >>> result = engine.run([HCSTQuery(s=0, t=3, k=3)])
 >>> sorted(result.paths_at(0))
 [(0, 1, 2, 3), (0, 2, 3)]
+
+Large batches can be sharded across worker processes; results are merged
+by batch position and are identical to the single-process run::
+
+    engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=4)
+    result = engine.run(queries)          # or batch_enumerate(..., num_workers=4)
+
+The enumeration hot paths are iterative (explicit-stack) searches over a
+shared :class:`CSRGraph` snapshot, so arbitrarily deep hop constraints
+never hit Python's recursion limit.
 """
 
 from repro.graph.digraph import DiGraph

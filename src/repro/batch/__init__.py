@@ -8,6 +8,9 @@
 * :mod:`repro.batch.batch_enum` — Algorithm 4 (``BatchEnum``/``BatchEnum+``):
   shared enumeration with materialised HC-s path queries.
 * :mod:`repro.batch.engine` — the :class:`BatchQueryEngine` facade.
+* :mod:`repro.batch.executor` — sharded parallel execution
+  (``num_workers > 1``): clusters are distributed across a process pool and
+  result fragments are merged deterministically by batch position.
 """
 
 from repro.batch.results import BatchResult, SharingStats
@@ -18,8 +21,10 @@ from repro.batch.detection import detect_common_queries, DetectionOutcome
 from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
 from repro.batch.engine import BatchQueryEngine, ALGORITHMS
+from repro.batch.executor import run_parallel
 
 __all__ = [
+    "run_parallel",
     "BatchResult",
     "SharingStats",
     "ResultCache",

@@ -45,6 +45,11 @@ class BasicEnum:
             algorithm=self.name,
         )
         index = workload.index  # "BuildIndex" stage (multi-source BFS)
+        # Pack the shared CSR snapshot up front so the per-query loop below
+        # (and every other algorithm run on this graph) reads adjacency from
+        # the same flat arrays; attribute the packing to BuildIndex.
+        with stage_timer.stage("BuildIndex"):
+            self.graph.csr_snapshot()
         enumerator = PathEnum(
             self.graph,
             index=index,

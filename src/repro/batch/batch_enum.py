@@ -38,6 +38,11 @@ from repro.queries.workload import QueryWorkload
 from repro.utils.timer import StageTimer
 from repro.utils.validation import require
 
+#: Default frontier-expansion depth of DetectCommonQuery (see the
+#: ``max_detection_depth`` parameter below).  The parallel executor uses the
+#: same constant so sequential and sharded runs share identically.
+DEFAULT_MAX_DETECTION_DEPTH: Optional[int] = 1
+
 
 class BatchEnum:
     """The paper's batch HC-s-t path query processing algorithm.
@@ -57,7 +62,7 @@ class BatchEnum:
         graph: DiGraph,
         gamma: float = 0.5,
         optimize_search_order: bool = False,
-        max_detection_depth: Optional[int] = 1,
+        max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
     ) -> None:
         require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
         self.graph = graph
@@ -85,13 +90,21 @@ class BatchEnum:
             queries=list(queries), stage_timer=stage_timer, algorithm=self.name
         )
         index = workload.index  # BuildIndex
+        with stage_timer.stage("BuildIndex"):
+            # Pack (or reuse) the shared CSR snapshot the enumeration reads.
+            self.graph.csr_snapshot()
 
         with stage_timer.stage("ClusterQuery"):
             clusters = cluster_queries(workload, self.gamma)
 
         sharing = SharingStats(num_clusters=len(clusters))
         for cluster in clusters:
-            self._process_cluster(cluster, workload, index, result, sharing)
+            queries_by_position = {
+                position: workload.queries[position] for position in cluster
+            }
+            self._process_cluster(
+                queries_by_position, index, stage_timer, result, sharing
+            )
         result.sharing = sharing
         return result
 
@@ -100,16 +113,20 @@ class BatchEnum:
     # ------------------------------------------------------------------ #
     def _process_cluster(
         self,
-        cluster: List[int],
-        workload: QueryWorkload,
+        queries_by_position: Dict[int, HCSTQuery],
         index: DistanceIndex,
+        stage_timer: StageTimer,
         result: BatchResult,
         sharing: SharingStats,
     ) -> None:
-        stage_timer = workload.stage_timer
-        queries_by_position = {
-            position: workload.queries[position] for position in cluster
-        }
+        """Process one cluster of queries against ``index``.
+
+        Clusters are independent of one another by construction, which makes
+        this the shard boundary of :mod:`repro.batch.executor`: the parallel
+        mode calls this method from worker processes with a per-cluster
+        index and merges the per-position results afterwards.
+        """
+        cluster = sorted(queries_by_position)
 
         forward_budgets: Dict[int, int] = {}
         backward_budgets: Dict[int, int] = {}
@@ -202,17 +219,17 @@ class BatchEnum:
     ) -> List[Path]:
         """Enumerate all hop-constrained paths of one HC-s path query.
 
-        The search explores the graph in the node's direction.  When it is
-        about to step onto a vertex where one of the node's providers is
-        rooted — and the provider's hop budget covers the remaining need —
-        the provider's cached paths are spliced in instead of re-exploring
-        the subtree (Algorithm 4, Search lines 22-23).
+        The search explores flat CSR adjacency in the node's direction with
+        an explicit iterator stack (deep hop budgets never touch Python's
+        recursion limit).  When it is about to step onto a vertex where one
+        of the node's providers is rooted — and the provider's hop budget
+        covers the remaining need — the provider's cached paths are spliced
+        in instead of re-exploring the subtree (Algorithm 4, Search lines
+        22-23).
         """
         psi = outcome.sharing_graph
         forward = node.direction is Direction.FORWARD
-        neighbors = (
-            self.graph.out_neighbors if forward else self.graph.in_neighbors
-        )
+        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
         index = outcome.index
         queries_by_position = outcome.queries_by_position
         budget_by_position = outcome.budget_by_position
@@ -274,16 +291,22 @@ class BatchEnum:
             return True
 
         results: List[Path] = []
+        if should_record(node.vertex, 0):
+            results.append((node.vertex,))
+        if budget == 0:
+            return results
+
         prefix: List[int] = [node.vertex]
         on_path = {node.vertex}
+        # Explicit DFS: iter_stack[d] iterates the pending neighbours of
+        # prefix[d]; frames are pushed only while budget remains.
+        iter_stack = [iter(adjacency[node.vertex])]
 
-        def extend(vertex: int, used: int) -> None:
-            if should_record(vertex, used):
-                results.append(tuple(prefix))
-            if used == budget:
-                return
+        while iter_stack:
+            used = len(prefix) - 1
             remaining = budget - used
-            for neighbor in neighbors(vertex):
+            frame = iter_stack[-1]
+            for neighbor in frame:
                 if neighbor in on_path:
                     continue
                 if need(neighbor) > remaining:
@@ -308,11 +331,17 @@ class BatchEnum:
                     continue
                 prefix.append(neighbor)
                 on_path.add(neighbor)
-                extend(neighbor, used + 1)
-                prefix.pop()
-                on_path.remove(neighbor)
-
-        extend(node.vertex, 0)
+                if should_record(neighbor, used + 1):
+                    results.append(tuple(prefix))
+                if used + 1 < budget:
+                    iter_stack.append(iter(adjacency[neighbor]))
+                else:
+                    prefix.pop()
+                    on_path.remove(neighbor)
+                break
+            else:
+                iter_stack.pop()
+                on_path.remove(prefix.pop())
         return results
 
     def _join_cluster(

@@ -11,17 +11,22 @@ of Ψ rather than its full size.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.enumeration.paths import Path
 from repro.utils.validation import require
 
 
 class ResultCache:
-    """Ref-counted cache of HC-s path query results."""
+    """Ref-counted cache of HC-s path query results.
+
+    Readers receive an immutable ``tuple`` of paths: a spliced provider
+    result is read by every later consumer, so handing out the internal
+    list would let one consumer silently corrupt all the others.
+    """
 
     def __init__(self) -> None:
-        self._paths: Dict[Hashable, List[Path]] = {}
+        self._paths: Dict[Hashable, Tuple[Path, ...]] = {}
         self._remaining_consumers: Dict[Hashable, int] = {}
         self.peak_entries = 0
         self.reuse_count = 0
@@ -36,7 +41,7 @@ class ResultCache:
         require(node not in self._paths, f"node {node!r} is already cached")
         if consumers <= 0:
             return
-        self._paths[node] = list(paths)
+        self._paths[node] = tuple(paths)
         self._remaining_consumers[node] = consumers
         self.peak_entries = max(self.peak_entries, len(self._paths))
 
@@ -46,15 +51,16 @@ class ResultCache:
     def __contains__(self, node: Hashable) -> bool:
         return node in self._paths
 
-    def get(self, node: Hashable) -> List[Path]:
-        """Return the cached paths of ``node`` (raises ``KeyError`` if the
-        node was never cached or has already been evicted)."""
+    def get(self, node: Hashable) -> Tuple[Path, ...]:
+        """Return the cached paths of ``node`` as an immutable tuple
+        (raises ``KeyError`` if the node was never cached or has already
+        been evicted)."""
         if node not in self._paths:
             raise KeyError(f"node {node!r} is not in the result cache")
         self.reuse_count += 1
         return self._paths[node]
 
-    def peek(self, node: Hashable) -> Optional[List[Path]]:
+    def peek(self, node: Hashable) -> Optional[Tuple[Path, ...]]:
         """Like :meth:`get` but returns ``None`` instead of raising and does
         not count as a reuse."""
         return self._paths.get(node)

@@ -15,6 +15,11 @@ name           algorithm
 ``dksp``       adapted diversified top-k route planning baseline
 ``onepass``    adapted k-shortest-paths-with-limited-overlap baseline
 =============  =====================================================
+
+``num_workers > 1`` shards the batch across worker processes —
+per cluster for ``batch``/``batch+``, per contiguous query slice for the
+per-query algorithms — with results merged deterministically by batch
+position (see :mod:`repro.batch.executor` for the design).
 """
 
 from __future__ import annotations
@@ -39,6 +44,19 @@ ALGORITHMS = (
     "onepass",
 )
 
+#: Display label each runner reports in ``BatchResult.algorithm``, keyed by
+#: engine name — the single mapping shared by the empty-batch fast path and
+#: the parallel executor so every run of one engine carries one label.
+DISPLAY_NAMES = {
+    "pathenum": "PathEnum",
+    "basic": "BasicEnum",
+    "basic+": "BasicEnum+",
+    "batch": "BatchEnum",
+    "batch+": "BatchEnum+",
+    "dksp": "DkSP",
+    "onepass": "OnePass",
+}
+
 
 class BatchQueryEngine:
     """One-call batch HC-s-t path query processing.
@@ -58,19 +76,42 @@ class BatchQueryEngine:
         graph: DiGraph,
         algorithm: str = "batch+",
         gamma: float = 0.5,
+        num_workers: int = 1,
     ) -> None:
         require(
             algorithm in ALGORITHMS,
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}",
         )
         require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
+        require(num_workers >= 1, "num_workers must be >= 1")
         self.graph = graph
         self.algorithm = algorithm
         self.gamma = gamma
+        self.num_workers = num_workers
 
     def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
-        """Process ``queries`` with the configured algorithm."""
-        require(bool(queries), "the query batch must not be empty")
+        """Process ``queries`` with the configured algorithm.
+
+        An empty batch is answered immediately with an empty
+        :class:`BatchResult` — callers draining dynamic queues need no
+        pre-check.  With ``num_workers > 1`` the batch is sharded across
+        worker processes (see :mod:`repro.batch.executor`); results are
+        identical to the single-process run, merged by batch position.
+        """
+        if not queries:
+            return BatchResult(
+                queries=[], algorithm=DISPLAY_NAMES[self.algorithm]
+            )
+        if self.num_workers > 1:
+            from repro.batch.executor import run_parallel
+
+            return run_parallel(
+                self.graph,
+                queries,
+                algorithm=self.algorithm,
+                gamma=self.gamma,
+                num_workers=self.num_workers,
+            )
         runner = self._runner()
         return runner(queries)
 
@@ -108,6 +149,10 @@ def batch_enumerate(
     queries: Sequence[HCSTQuery],
     algorithm: str = "batch+",
     gamma: float = 0.5,
+    num_workers: int = 1,
 ) -> BatchResult:
     """Functional one-shot wrapper around :class:`BatchQueryEngine`."""
-    return BatchQueryEngine(graph, algorithm=algorithm, gamma=gamma).run(queries)
+    engine = BatchQueryEngine(
+        graph, algorithm=algorithm, gamma=gamma, num_workers=num_workers
+    )
+    return engine.run(queries)

@@ -1,0 +1,211 @@
+"""Sharded parallel batch execution across worker processes.
+
+Design
+------
+``BatchEnum`` processes a batch as *clusters* (Algorithm 2 groups queries
+that can share computation; sharing never crosses a cluster boundary), so a
+cluster is a clean shard: two clusters touch disjoint sharing graphs,
+disjoint result caches and disjoint output positions.  The parallel mode
+exploits exactly that boundary:
+
+1. The parent process runs the cheap global stages — workload validation,
+   the similarity matrix and ``ClusterQuery`` — single-threaded, exactly as
+   the sequential path does.
+2. Every cluster becomes one task submitted to a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  The data graph is
+   shipped to each worker **once** via the pool initializer (not once per
+   task); a task carries only its cluster's ``{position: query}`` mapping.
+3. A worker builds a *per-cluster* distance index covering the cluster's
+   sources/targets and runs ``BatchEnum._process_cluster`` unchanged.  BFS
+   distances from a source are independent of which other sources are
+   indexed, and Lemma 3.1 admissibility can never accept a vertex whose
+   distance exceeds the cluster's own hop constraints, so the per-cluster
+   index yields bit-identical paths to the sequential global index.
+4. The parent merges fragments **by batch position** in cluster submission
+   order, so results, ``SharingStats`` and stage timings are deterministic
+   regardless of worker scheduling.  ``num_workers=1`` bypasses the pool
+   entirely and is byte-for-byte the sequential engine.
+
+The per-query algorithms (``pathenum``, ``basic``, ``basic+``, ``dksp``,
+``onepass``) have no cross-query state at all; for them the batch is split
+into ``num_workers`` contiguous position ranges and each worker runs the
+sequential algorithm on its slice.
+
+Stage-timing semantics in parallel runs: the parent's ``Enumeration``
+stage is the **wall-clock** time of the whole fan-out (submit → last merge);
+the workers' own ``Enumeration`` totals are discarded to avoid counting that
+span twice.  The remaining worker stages (``BuildIndex``,
+``IdentifySubquery``) are accumulated across workers, so with N workers
+those entries reflect summed CPU effort and can exceed wall-clock time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.batch_enum import DEFAULT_MAX_DETECTION_DEPTH, BatchEnum
+from repro.batch.results import BatchResult, SharingStats
+from repro.bfs.distance_index import build_index
+from repro.graph.digraph import DiGraph
+from repro.queries.query import HCSTQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.timer import StageTimer
+from repro.utils.validation import require
+
+#: Algorithms whose batch work is sharded per cluster (sharing-aware).
+CLUSTERED_ALGORITHMS = ("batch", "batch+")
+
+#: Worker-process state installed by :func:`_init_worker`.
+_WORKER_GRAPH: Optional[DiGraph] = None
+_WORKER_CONFIG: Optional[dict] = None
+
+#: A result fragment sent back by a worker: paths keyed by original batch
+#: position, the shard's sharing stats, and its stage-time totals.
+Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float]]
+
+
+def _init_worker(graph: DiGraph, config: dict) -> None:
+    """Pool initializer: stash the graph + algorithm config per process."""
+    global _WORKER_GRAPH, _WORKER_CONFIG
+    _WORKER_GRAPH = graph
+    _WORKER_CONFIG = config
+
+
+def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
+    """Process one cluster inside a worker (``batch``/``batch+``)."""
+    graph, config = _WORKER_GRAPH, _WORKER_CONFIG
+    assert graph is not None and config is not None, "worker not initialised"
+    enumerator = BatchEnum(
+        graph,
+        gamma=config["gamma"],
+        optimize_search_order=config["optimize_search_order"],
+        max_detection_depth=config["max_detection_depth"],
+    )
+    stage_timer = StageTimer()
+    with stage_timer.stage("BuildIndex"):
+        index = build_index(
+            graph,
+            sorted({query.s for query in queries_by_position.values()}),
+            sorted({query.t for query in queries_by_position.values()}),
+            max(query.k for query in queries_by_position.values()),
+        )
+    sharing = SharingStats(num_clusters=1)
+    scratch = BatchResult(queries=[])
+    enumerator._process_cluster(
+        queries_by_position, index, stage_timer, scratch, sharing
+    )
+    return scratch.paths_by_position, sharing, stage_timer.totals
+
+
+def _run_slice_task(
+    positions: Sequence[int], queries: Sequence[HCSTQuery]
+) -> Fragment:
+    """Process one contiguous query slice inside a worker (per-query
+    algorithms: the sequential runner is reused verbatim)."""
+    from repro.batch.engine import BatchQueryEngine
+
+    graph, config = _WORKER_GRAPH, _WORKER_CONFIG
+    assert graph is not None and config is not None, "worker not initialised"
+    engine = BatchQueryEngine(
+        graph, algorithm=config["algorithm"], gamma=config["gamma"]
+    )
+    sub_result = engine.run(queries)
+    paths_by_position = {
+        position: sub_result.paths_by_position.get(local, [])
+        for local, position in enumerate(positions)
+    }
+    return paths_by_position, sub_result.sharing, sub_result.stage_timer.totals
+
+
+def run_parallel(
+    graph: DiGraph,
+    queries: Sequence[HCSTQuery],
+    algorithm: str,
+    gamma: float,
+    num_workers: int,
+    max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+) -> BatchResult:
+    """Process ``queries`` with ``num_workers`` worker processes.
+
+    Results are merged deterministically by batch position and are
+    identical (same paths, same order, per position) to a sequential run.
+    """
+    require(num_workers >= 2, "run_parallel requires num_workers >= 2")
+    from repro.batch.clustering import cluster_queries
+    from repro.batch.engine import DISPLAY_NAMES
+
+    stage_timer = StageTimer()
+    result = BatchResult(
+        queries=list(queries),
+        stage_timer=stage_timer,
+        algorithm=DISPLAY_NAMES.get(algorithm, algorithm),
+    )
+    sharing = SharingStats()
+
+    if algorithm in CLUSTERED_ALGORITHMS:
+        workload = QueryWorkload(graph, queries, stage_timer=stage_timer)
+        workload.index  # BuildIndex (needed by the similarity matrix anyway)
+        with stage_timer.stage("ClusterQuery"):
+            clusters = cluster_queries(workload, gamma)
+        tasks = [
+            {position: workload.queries[position] for position in cluster}
+            for cluster in clusters
+        ]
+        worker_fn, make_args = _run_cluster_task, lambda task: (task,)
+    else:
+        positions = list(range(len(queries)))
+        slices = _contiguous_slices(positions, num_workers)
+        tasks = [
+            (chunk, [queries[position] for position in chunk]) for chunk in slices
+        ]
+        worker_fn, make_args = _run_slice_task, lambda task: task
+
+    config = {
+        "algorithm": algorithm,
+        "gamma": gamma,
+        "optimize_search_order": algorithm.endswith("+"),
+        "max_detection_depth": max_detection_depth,
+    }
+    with stage_timer.stage("Enumeration"):
+        with ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_worker,
+            initargs=(graph, config),
+        ) as pool:
+            futures = [pool.submit(worker_fn, *make_args(task)) for task in tasks]
+            # Merge in submission order — deterministic regardless of which
+            # worker finishes first.
+            for future in futures:
+                paths_by_position, fragment_sharing, stage_totals = future.result()
+                for position in sorted(paths_by_position):
+                    result.record(position, paths_by_position[position])
+                sharing.merge(fragment_sharing)
+                for name, seconds in sorted(stage_totals.items()):
+                    if name != "Enumeration":  # already inside the stage
+                        stage_timer.add(name, seconds)
+
+    if algorithm not in CLUSTERED_ALGORITHMS:
+        # Per-query algorithms report one "cluster" per query, like their
+        # sequential counterparts do.
+        sharing.num_clusters = len(queries)
+    result.sharing = sharing
+    return result
+
+
+def _contiguous_slices(positions: List[int], num_workers: int) -> List[List[int]]:
+    """Split ``positions`` into at most ``num_workers`` contiguous,
+    near-equal slices (empty slices are dropped)."""
+    count = len(positions)
+    shard_count = min(num_workers, count)
+    if shard_count == 0:
+        return []
+    base, extra = divmod(count, shard_count)
+    slices: List[List[int]] = []
+    start = 0
+    for shard in range(shard_count):
+        size = base + (1 if shard < extra else 0)
+        if size:
+            slices.append(positions[start:start + size])
+        start += size
+    return slices

@@ -36,6 +36,23 @@ class SharingStats:
     cache_peak_entries: int = 0
     cache_reuse_count: int = 0
 
+    def merge(self, other: "SharingStats") -> None:
+        """Fold the stats of another shard into this one.
+
+        Counters add up; ``cache_peak_entries`` takes the maximum, matching
+        the single-process semantics where the peak is tracked per cluster
+        (each cluster owns a fresh cache).  ``num_clusters`` is summed, so
+        callers merging per-cluster fragments should leave the fragments'
+        ``num_clusters`` at their natural value of one cluster each.
+        """
+        self.num_clusters += other.num_clusters
+        self.num_shared_nodes += other.num_shared_nodes
+        self.num_hc_s_nodes += other.num_hc_s_nodes
+        self.cache_peak_entries = max(
+            self.cache_peak_entries, other.cache_peak_entries
+        )
+        self.cache_reuse_count += other.cache_reuse_count
+
 
 @dataclass
 class BatchResult:

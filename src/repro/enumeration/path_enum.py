@@ -122,51 +122,60 @@ class PathEnum:
         Pruning follows Lemma 3.1 — a neighbour is only explored when the
         hops already used plus its distance to the *other* endpoint still
         fit within ``k``.
+
+        The search walks flat CSR adjacency with an explicit iterator
+        stack, so arbitrarily large hop budgets never touch Python's
+        recursion limit and the hot loop avoids per-step ``DiGraph`` method
+        dispatch.
         """
-        graph = self.graph
         k = query.k
+        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
         if forward:
             start, other_end = query.s, query.t
-            neighbors = graph.out_neighbors
-            distance_to_other = lambda v: index.dist_to(query.t, v)  # noqa: E731
+            distances = index.to_target[query.t]
         else:
             start, other_end = query.t, query.s
-            neighbors = graph.in_neighbors
-            distance_to_other = lambda v: index.dist_from(query.s, v)  # noqa: E731
+            distances = index.from_source[query.s]
+        infinity = float("inf")
 
         collected: List[Path] = []
+        if forward and start == other_end:  # guarded by HCSTQuery, defensive
+            return collected
+
         prefix: List[int] = [start]
         on_path = {start}
+        # iter_stack[d] iterates the unexplored neighbours of prefix[d]; a
+        # frame is only pushed when the prefix may still be extended
+        # (budget left and not sitting on the other endpoint).
+        iter_stack = [iter(adjacency[start])] if budget > 0 else []
 
-        def record_if_needed() -> None:
-            length = len(prefix) - 1
-            if forward:
-                if prefix[-1] == other_end or length == budget:
-                    collected.append(tuple(prefix))
-            else:
-                if 1 <= length <= budget:
-                    collected.append(tuple(prefix))
-
-        def extend(vertex: int, used: int) -> None:
-            record_if_needed()
-            if used == budget:
-                return
-            if vertex == other_end:
-                # A simple s-t path never revisits the other endpoint, so
-                # extending beyond it cannot contribute results.
-                return
-            for neighbor in neighbors(vertex):
+        while iter_stack:
+            used = len(prefix) - 1
+            frame = iter_stack[-1]
+            for neighbor in frame:
                 if neighbor in on_path:
                     continue
-                if used + 1 + distance_to_other(neighbor) > k:
+                if used + 1 + distances.get(neighbor, infinity) > k:
                     continue
                 prefix.append(neighbor)
                 on_path.add(neighbor)
-                extend(neighbor, used + 1)
-                prefix.pop()
-                on_path.remove(neighbor)
-
-        extend(start, 0)
+                length = used + 1
+                if forward:
+                    if neighbor == other_end or length == budget:
+                        collected.append(tuple(prefix))
+                else:
+                    collected.append(tuple(prefix))
+                if length < budget and neighbor != other_end:
+                    iter_stack.append(iter(adjacency[neighbor]))
+                else:
+                    # Leaf: either out of budget or a simple s-t path never
+                    # revisits the other endpoint, so backtrack in place.
+                    prefix.pop()
+                    on_path.remove(neighbor)
+                break
+            else:
+                iter_stack.pop()
+                on_path.remove(prefix.pop())
         return collected
 
 

@@ -2,9 +2,14 @@
 
 The enumeration hot loops only need fast, read-only access to out-neighbour
 lists of ``G`` and ``Gr``.  ``CSRGraph`` packs both directions into flat
-arrays (``array('i')``) which are considerably cheaper to scan in CPython
-than nested Python lists, and guarantees that the graph cannot change while
-an index built from it is alive.
+arrays (``array('l')`` — the signed-long typecode, wide enough for any
+realistic vertex id; see :data:`TYPECODE`) which are considerably cheaper
+to scan in CPython than nested Python lists, and guarantees that the graph
+cannot change while an index built from it is alive.
+
+Neighbour runs are stored **sorted ascending**, the same deterministic
+order :class:`DiGraph` maintains, so iterative searches over either view
+enumerate paths in identical order.
 """
 
 from __future__ import annotations
@@ -13,6 +18,15 @@ from array import array
 from typing import List, Sequence
 
 from repro.graph.digraph import DiGraph
+from repro.utils.validation import require
+
+#: Array typecode used for both the offset and target arrays.  ``'l'`` is a
+#: C signed long (at least 32 bits, 64 on common platforms), chosen over
+#: ``'i'`` so that very large vertex-id spaces cannot silently overflow.
+TYPECODE = "l"
+
+#: Largest value representable by :data:`TYPECODE` on this platform.
+_TYPECODE_MAX = 2 ** (8 * array(TYPECODE).itemsize - 1) - 1
 
 
 class CSRGraph:
@@ -32,6 +46,8 @@ class CSRGraph:
         "_fwd_targets",
         "_bwd_offsets",
         "_bwd_targets",
+        "_fwd_lists",
+        "_bwd_lists",
     )
 
     def __init__(self, graph: DiGraph) -> None:
@@ -43,11 +59,20 @@ class CSRGraph:
         self._bwd_offsets, self._bwd_targets = self._pack(
             [graph.in_neighbors(v) for v in graph.vertices()]
         )
+        # Materialised list-of-lists adjacency, built lazily per direction.
+        self._fwd_lists: List[List[int]] | None = None
+        self._bwd_lists: List[List[int]] | None = None
 
     @staticmethod
     def _pack(adjacency: List[Sequence[int]]) -> tuple[array, array]:
-        offsets = array("l", [0] * (len(adjacency) + 1))
-        targets = array("l")
+        num_edges = sum(len(neighbors) for neighbors in adjacency)
+        require(
+            len(adjacency) - 1 <= _TYPECODE_MAX and num_edges <= _TYPECODE_MAX,
+            f"graph too large for array typecode {TYPECODE!r} "
+            f"(max representable value {_TYPECODE_MAX})",
+        )
+        offsets = array(TYPECODE, [0] * (len(adjacency) + 1))
+        targets = array(TYPECODE)
         cursor = 0
         for v, neighbors in enumerate(adjacency):
             sorted_neighbors = sorted(neighbors)
@@ -76,14 +101,36 @@ class CSRGraph:
     def in_degree(self, v: int) -> int:
         return self._bwd_offsets[v + 1] - self._bwd_offsets[v]
 
+    def flat(self, forward: bool = True) -> tuple[array, array]:
+        """The raw ``(offsets, targets)`` arrays of one direction."""
+        if forward:
+            return self._fwd_offsets, self._fwd_targets
+        return self._bwd_offsets, self._bwd_targets
+
     def adjacency_lists(self, forward: bool = True) -> List[List[int]]:
         """Materialise plain Python adjacency lists for one direction.
 
-        The recursive enumeration code indexes adjacency by vertex id in a
+        The iterative enumeration code indexes adjacency by vertex id in a
         tight loop; plain lists of lists are the fastest structure for that
-        in CPython, so callers typically grab these once per run.
+        in CPython.  The lists are built once per direction and cached, so
+        every search over the same snapshot shares them — callers must not
+        mutate the returned structure.
         """
-        return [list(self.neighbors(v, forward)) for v in range(self.num_vertices)]
+        if forward:
+            if self._fwd_lists is None:
+                offsets, targets = self._fwd_offsets, self._fwd_targets
+                self._fwd_lists = [
+                    list(targets[offsets[v]:offsets[v + 1]])
+                    for v in range(self.num_vertices)
+                ]
+            return self._fwd_lists
+        if self._bwd_lists is None:
+            offsets, targets = self._bwd_offsets, self._bwd_targets
+            self._bwd_lists = [
+                list(targets[offsets[v]:offsets[v + 1]])
+                for v in range(self.num_vertices)
+            ]
+        return self._bwd_lists
 
     def __repr__(self) -> str:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

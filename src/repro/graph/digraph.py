@@ -5,13 +5,23 @@ The graph stores out- and in-adjacency lists so that forward searches on
 paper) are both a single list lookup.  Vertex ids are dense integers in
 ``[0, num_vertices)``; parallel edges and self loops are rejected because
 the paper's simple-path semantics never uses them.
+
+Adjacency lists are kept **sorted ascending** at all times, matching the
+order :class:`~repro.graph.csr.CSRGraph` packs its flat arrays in, so every
+enumeration algorithm visits neighbours — and therefore produces paths — in
+the same order regardless of which adjacency view it reads and of the order
+edges were inserted in.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.utils.validation import require, require_non_negative, require_vertex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.csr import CSRGraph
 
 Edge = Tuple[int, int]
 
@@ -30,6 +40,9 @@ class DiGraph:
         self._out: List[List[int]] = [[] for _ in range(num_vertices)]
         self._in: List[List[int]] = [[] for _ in range(num_vertices)]
         self._edge_set: set[Edge] = set()
+        self._version = 0
+        self._csr: "CSRGraph | None" = None
+        self._csr_version = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -49,30 +62,47 @@ class DiGraph:
             for u, v in edge_list:
                 num_vertices = max(num_vertices, u + 1, v + 1)
         graph = cls(num_vertices)
+        # Bulk path: append everything, then sort each list once.  Going
+        # through add_edge's insort would cost O(degree) per edge —
+        # quadratic on high-degree hubs.
+        out, inn, edge_set = graph._out, graph._in, graph._edge_set
         for u, v in edge_list:
-            if (u, v) not in graph._edge_set:
-                graph.add_edge(u, v)
+            if (u, v) in edge_set:
+                continue
+            require_vertex(u, num_vertices, "u")
+            require_vertex(v, num_vertices, "v")
+            require(u != v, f"self loops are not allowed (got edge ({u}, {v}))")
+            out[u].append(v)
+            inn[v].append(u)
+            edge_set.add((u, v))
+        for neighbors in out:
+            neighbors.sort()
+        for neighbors in inn:
+            neighbors.sort()
+        graph._version += 1
         return graph
 
     def add_vertex(self) -> int:
         """Append a new isolated vertex and return its id."""
         self._out.append([])
         self._in.append([])
+        self._version += 1
         return len(self._out) - 1
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the directed edge ``(u, v)``.
 
         Raises ``ValueError`` on self loops, duplicate edges or out-of-range
-        endpoints.
+        endpoints.  The adjacency lists stay sorted ascending.
         """
         require_vertex(u, self.num_vertices, "u")
         require_vertex(v, self.num_vertices, "v")
         require(u != v, f"self loops are not allowed (got edge ({u}, {v}))")
         require((u, v) not in self._edge_set, f"duplicate edge ({u}, {v})")
-        self._out[u].append(v)
-        self._in[v].append(u)
+        insort(self._out[u], v)
+        insort(self._in[v], u)
         self._edge_set.add((u, v))
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -89,7 +119,7 @@ class DiGraph:
         return range(self.num_vertices)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate edges in insertion order per source vertex."""
+        """Iterate edges sorted by source vertex, then by target."""
         for u, neighbors in enumerate(self._out):
             for v in neighbors:
                 yield (u, v)
@@ -132,6 +162,22 @@ class DiGraph:
         """Return a deep copy of the out-adjacency lists."""
         return [list(neighbors) for neighbors in self._out]
 
+    def csr_snapshot(self) -> "CSRGraph":
+        """Return a :class:`~repro.graph.csr.CSRGraph` view of this graph.
+
+        The snapshot is cached and shared by every enumeration run until the
+        graph mutates (``add_edge``/``add_vertex``), at which point the next
+        call packs a fresh one.  This is what lets a whole batch — and every
+        worker processing shards of it — read adjacency from one flat,
+        immutable structure instead of re-walking the mutable lists.
+        """
+        from repro.graph.csr import CSRGraph
+
+        if self._csr is None or self._csr_version != self._version:
+            self._csr = CSRGraph(self)
+            self._csr_version = self._version
+        return self._csr
+
     # ------------------------------------------------------------------ #
     # Dunder methods
     # ------------------------------------------------------------------ #
@@ -145,6 +191,17 @@ class DiGraph:
 
     def __hash__(self) -> int:  # graphs are mutable; identity hash
         return id(self)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The CSR snapshot is derived data; dropping it keeps worker-process
+        # payloads small and each process re-packs (and caches) its own.
+        state = self.__dict__.copy()
+        state["_csr"] = None
+        state["_csr_version"] = -1
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:
         return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

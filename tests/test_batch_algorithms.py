@@ -145,10 +145,17 @@ def test_engine_rejects_unknown_algorithm(paper_graph):
         BatchQueryEngine(paper_graph, algorithm="magic")
 
 
-def test_engine_rejects_empty_batch(paper_graph):
+def test_engine_empty_batch_returns_empty_result(paper_graph):
     engine = BatchQueryEngine(paper_graph)
+    result = engine.run([])
+    assert result.queries == []
+    assert result.counts() == []
+    assert result.total_paths() == 0
+
+
+def test_engine_rejects_invalid_num_workers(paper_graph):
     with pytest.raises(ValueError):
-        engine.run([])
+        BatchQueryEngine(paper_graph, num_workers=0)
 
 
 def test_engine_exposes_all_algorithms(paper_graph, paper_queries):

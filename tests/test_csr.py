@@ -41,6 +41,28 @@ def test_adjacency_lists_roundtrip():
         assert backward[v] == sorted(graph.in_neighbors(v))
 
 
+def test_flat_arrays_consistent_with_neighbors():
+    graph = random_directed_gnm(25, 70, seed=4)
+    csr = CSRGraph(graph)
+    for forward in (True, False):
+        offsets, targets = csr.flat(forward)
+        assert len(offsets) == graph.num_vertices + 1
+        assert offsets[-1] == len(targets) == graph.num_edges
+        for v in graph.vertices():
+            run = list(targets[offsets[v]:offsets[v + 1]])
+            assert run == list(csr.neighbors(v, forward))
+
+
+def test_digraph_csr_snapshot_cached_and_invalidated():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    first = graph.csr_snapshot()
+    assert graph.csr_snapshot() is first  # cached while unchanged
+    graph.add_edge(0, 2)
+    second = graph.csr_snapshot()
+    assert second is not first
+    assert list(second.out_neighbors(0)) == [1, 2]
+
+
 def test_isolated_vertices_have_no_neighbors():
     graph = DiGraph(4)
     graph.add_edge(0, 1)

@@ -1,0 +1,104 @@
+"""Tests for the sharded parallel execution mode (``num_workers > 1``).
+
+The contract under test: for every algorithm and any ``num_workers``, the
+engine returns *identical* results — same paths, same order, per batch
+position — as the sequential run, and both match the brute-force ground
+truth.  Clusters (for ``batch``/``batch+``) and contiguous query slices
+(for the per-query algorithms) are the shard boundaries, and the merge is
+deterministic by batch position.
+"""
+
+import pytest
+
+from repro.batch.engine import BatchQueryEngine, batch_enumerate
+from repro.batch.executor import _contiguous_slices
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.paths import sort_paths
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+
+PARALLEL_ALGORITHMS = ("basic", "basic+", "batch", "batch+")
+
+
+def _workload(seed):
+    graph = random_directed_gnm(30, 110, seed=seed)
+    queries = generate_random_queries(graph, 8, min_k=2, max_k=4, seed=seed)
+    return graph, queries
+
+
+@pytest.mark.parametrize("algorithm", PARALLEL_ALGORITHMS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_parallel_matches_sequential_and_brute_force(algorithm, seed):
+    graph, queries = _workload(seed)
+    sequential = BatchQueryEngine(graph, algorithm=algorithm, num_workers=1).run(
+        queries
+    )
+    parallel = BatchQueryEngine(graph, algorithm=algorithm, num_workers=2).run(
+        queries
+    )
+    for position, query in enumerate(queries):
+        # Exact equality — same paths in the same order, not just same sets.
+        assert parallel.paths_at(position) == sequential.paths_at(position)
+        expected = sort_paths(
+            enumerate_paths_brute_force(graph, query.s, query.t, query.k)
+        )
+        assert parallel.sorted_paths_at(position) == expected
+
+
+def test_parallel_four_workers_identical_on_batch_plus():
+    graph, queries = _workload(5)
+    sequential = BatchQueryEngine(graph, algorithm="batch+", num_workers=1).run(
+        queries
+    )
+    parallel = BatchQueryEngine(graph, algorithm="batch+", num_workers=4).run(
+        queries
+    )
+    for position in range(len(queries)):
+        assert parallel.paths_at(position) == sequential.paths_at(position)
+    assert parallel.sharing.num_clusters == sequential.sharing.num_clusters
+
+
+def test_parallel_sharing_stats_merge_deterministically():
+    graph, queries = _workload(3)
+    runs = [
+        BatchQueryEngine(graph, algorithm="batch+", num_workers=2).run(queries)
+        for _ in range(2)
+    ]
+    assert runs[0].sharing == runs[1].sharing
+    assert runs[0].sharing.num_clusters >= 1
+
+
+def test_parallel_empty_batch_returns_empty_result():
+    graph, _ = _workload(0)
+    result = BatchQueryEngine(graph, algorithm="batch+", num_workers=2).run([])
+    assert result.counts() == []
+
+
+def test_batch_enumerate_accepts_num_workers():
+    graph, queries = _workload(4)
+    sequential = batch_enumerate(graph, queries, algorithm="batch+")
+    parallel = batch_enumerate(graph, queries, algorithm="batch+", num_workers=2)
+    for position in range(len(queries)):
+        assert parallel.paths_at(position) == sequential.paths_at(position)
+
+
+def test_parallel_more_workers_than_queries():
+    graph, queries = _workload(6)
+    queries = queries[:2]
+    sequential = BatchQueryEngine(graph, algorithm="basic", num_workers=1).run(
+        queries
+    )
+    parallel = BatchQueryEngine(graph, algorithm="basic", num_workers=8).run(
+        queries
+    )
+    for position in range(len(queries)):
+        assert parallel.paths_at(position) == sequential.paths_at(position)
+
+
+def test_contiguous_slices_cover_all_positions_without_overlap():
+    positions = list(range(11))
+    slices = _contiguous_slices(positions, 4)
+    assert [p for chunk in slices for p in chunk] == positions
+    assert len(slices) == 4
+    assert _contiguous_slices([], 4) == []
+    assert _contiguous_slices([0, 1], 8) == [[0], [1]]

@@ -84,9 +84,26 @@ def test_cache_put_get_and_reuse_count():
     node = _node(0, 2)
     cache.put(node, [(0,), (0, 1)], consumers=2)
     assert node in cache
-    assert cache.get(node) == [(0,), (0, 1)]
+    assert cache.get(node) == ((0,), (0, 1))
     assert cache.reuse_count == 1
     assert cache.peek(node) is not None
+
+
+def test_cache_get_and_peek_return_immutable_results():
+    """Regression: consumers must not be able to corrupt a spliced provider
+    result for every later reader — the cache hands out tuples, and the
+    stored paths do not alias the sequence passed to ``put``."""
+    cache = ResultCache()
+    node = _node(0, 2)
+    original = [(0,), (0, 1)]
+    cache.put(node, original, consumers=3)
+    original.append((9, 9))  # mutating the caller's list must not leak in
+    assert cache.get(node) == ((0,), (0, 1))
+    assert isinstance(cache.get(node), tuple)
+    assert isinstance(cache.peek(node), tuple)
+    with pytest.raises(AttributeError):
+        cache.get(node).append((7,))  # tuples have no append
+    assert cache.peek(node) == ((0,), (0, 1))
 
 
 def test_cache_zero_consumers_not_stored():
