@@ -1,0 +1,174 @@
+"""Time-to-first-result harness for the streaming front-end.
+
+Builds a deliberately *skewed multi-cluster* workload — several disjoint
+graph communities of very different enumeration cost, one query cluster per
+community — and measures, per ``num_workers`` setting:
+
+* ``run()``'s total wall time (the blocking batch API),
+* ``stream(ordered=False)``'s time to its first yielded result and total
+  drain time,
+* ``stream(ordered=True)``'s time to first result (the reorder buffer may
+  hold early completions until position 0's cluster lands).
+
+The point of the streaming front-end is the recorded gap: with
+``ordered=False`` the first finished cluster reaches the consumer while the
+slowest cluster is still enumerating, so ``first_result_s`` is a fraction
+of ``run_wall_s``.  Every streamed run is also verified to return exactly
+``run()``'s paths per batch position.
+
+Writes a ``BENCH_streaming.json`` artifact next to the repo root so
+successive PRs can track the trajectory.  Standalone by design::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.batch.engine import BatchQueryEngine
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+from repro.queries.query import HCSTQuery
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+#: (vertices, edges, hop constraint) per community — the last community is
+#: much denser and deeper than the first, so its cluster dominates the
+#: batch's wall time while the early clusters finish quickly.
+COMMUNITIES = (
+    (40, 120, 3),
+    (60, 260, 4),
+    (90, 500, 5),
+    (130, 1040, 6),
+)
+QUERIES_PER_COMMUNITY = 4
+WORKER_COUNTS = (1, 2, 4)
+ALGORITHM = "batch+"
+
+
+def build_workload(
+    communities=COMMUNITIES, seed: int = 0
+) -> Tuple[DiGraph, List[HCSTQuery]]:
+    """Disjoint union of random communities with per-community queries.
+
+    Queries never cross a community boundary and communities share no
+    vertices, so ``ClusterQuery`` is guaranteed to produce at least one
+    cluster per community — the multi-cluster shape streaming exploits.
+    """
+    edges: List[Tuple[int, int]] = []
+    queries: List[HCSTQuery] = []
+    offset = 0
+    for index, (num_vertices, num_edges, k) in enumerate(communities):
+        community = random_directed_gnm(num_vertices, num_edges, seed=seed + index)
+        edges.extend((offset + u, offset + v) for u, v in community.edges())
+        for query in generate_random_queries(
+            community, QUERIES_PER_COMMUNITY, min_k=k, max_k=k, seed=seed + index
+        ):
+            queries.append(HCSTQuery(offset + query.s, offset + query.t, query.k))
+        offset += num_vertices
+    graph = DiGraph.from_edges(edges, num_vertices=offset)
+    # Interleave the communities' queries so batch order does not coincide
+    # with cluster completion order (that is what ordered=False is for).
+    interleaved = []
+    for position in range(QUERIES_PER_COMMUNITY):
+        for community_index in range(len(communities)):
+            interleaved.append(
+                queries[community_index * QUERIES_PER_COMMUNITY + position]
+            )
+    return graph, interleaved
+
+
+def _time_stream(engine, queries, ordered):
+    """Drain a stream, timing the first yield and the full drain."""
+    start = time.perf_counter()
+    first_result_s = None
+    collected = {}
+    for position, paths in engine.stream(queries, ordered=ordered):
+        if first_result_s is None:
+            first_result_s = time.perf_counter() - start
+        collected[position] = paths
+    total_s = time.perf_counter() - start
+    return first_result_s, total_s, collected
+
+
+def run(quick: bool = False) -> dict:
+    communities = COMMUNITIES[:2] if quick else COMMUNITIES
+    worker_counts = WORKER_COUNTS[:2] if quick else WORKER_COUNTS
+    graph, queries = build_workload(communities)
+    print(f"workload: {graph}, {len(queries)} queries, {len(communities)} communities")
+
+    records = []
+    for num_workers in worker_counts:
+        engine = BatchQueryEngine(graph, algorithm=ALGORITHM, num_workers=num_workers)
+
+        start = time.perf_counter()
+        reference = engine.run(queries)
+        run_wall_s = time.perf_counter() - start
+
+        unordered_first_s, unordered_total_s, unordered = _time_stream(
+            engine, queries, ordered=False
+        )
+        ordered_first_s, ordered_total_s, ordered = _time_stream(
+            engine, queries, ordered=True
+        )
+        assert unordered == reference.paths_by_position, "stream(ordered=False) != run()"
+        assert ordered == reference.paths_by_position, "stream(ordered=True) != run()"
+
+        record = {
+            "algorithm": ALGORITHM,
+            "num_workers": num_workers,
+            "num_queries": len(queries),
+            "num_clusters": reference.sharing.num_clusters,
+            "total_paths": reference.total_paths(),
+            "run_wall_s": round(run_wall_s, 6),
+            "stream_unordered_first_result_s": round(unordered_first_s, 6),
+            "stream_unordered_total_s": round(unordered_total_s, 6),
+            "stream_ordered_first_result_s": round(ordered_first_s, 6),
+            "stream_ordered_total_s": round(ordered_total_s, 6),
+            "first_result_before_run_completes": unordered_first_s < run_wall_s,
+        }
+        records.append(record)
+        print(
+            f"  workers={num_workers}: run {run_wall_s:.4f}s | "
+            f"first result (unordered) {unordered_first_s:.4f}s | "
+            f"first result (ordered) {ordered_first_s:.4f}s | "
+            f"{record['num_clusters']} clusters"
+        )
+
+    artifact = {
+        "benchmark": "streaming_time_to_first_result",
+        "algorithm": ALGORITHM,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": records,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+    return artifact
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweep")
+    args = parser.parse_args()
+    artifact = run(quick=args.quick)
+    # Only gate on the time-to-first-result property for the full sweep:
+    # the --quick workload is small enough that a noisy shared runner's
+    # pool-spawn jitter could flip the comparison, and CI runs --quick.
+    if not args.quick:
+        assert all(
+            record["first_result_before_run_completes"]
+            for record in artifact["records"]
+        ), "streaming failed to beat the blocking run to a first result"
+
+
+if __name__ == "__main__":
+    main()

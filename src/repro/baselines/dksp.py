@@ -14,11 +14,15 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.baselines.yen import yen_k_shortest_paths
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import (
+    BatchResult,
+    FragmentStream,
+    drain,
+    per_query_fragments,
+)
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
-from repro.utils.timer import StageTimer
 
 
 def enumerate_paths_dksp(graph: DiGraph, s: int, t: int, k: int) -> List[Path]:
@@ -28,16 +32,15 @@ def enumerate_paths_dksp(graph: DiGraph, s: int, t: int, k: int) -> List[Path]:
 
 def run_dksp_baseline(graph: DiGraph, queries: Sequence[HCSTQuery]) -> BatchResult:
     """Process a batch with the adapted DkSP baseline (independently per query)."""
-    stage_timer = StageTimer()
-    result = BatchResult(
-        queries=list(queries),
-        stage_timer=stage_timer,
-        sharing=SharingStats(num_clusters=len(queries)),
-        algorithm="DkSP",
+    return drain(iter_dksp_baseline(graph, queries))
+
+
+def iter_dksp_baseline(
+    graph: DiGraph, queries: Sequence[HCSTQuery]
+) -> FragmentStream:
+    """Fragment generator: one ``{position: paths}`` yield per query."""
+    return per_query_fragments(
+        queries,
+        lambda query: enumerate_paths_dksp(graph, query.s, query.t, query.k),
+        "DkSP",
     )
-    with stage_timer.stage("Enumeration"):
-        for position, query in enumerate(queries):
-            result.record(
-                position, enumerate_paths_dksp(graph, query.s, query.t, query.k)
-            )
-    return result

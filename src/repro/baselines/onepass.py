@@ -16,11 +16,15 @@ from __future__ import annotations
 import heapq
 from typing import List, Sequence, Tuple
 
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import (
+    BatchResult,
+    FragmentStream,
+    drain,
+    per_query_fragments,
+)
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
-from repro.utils.timer import StageTimer
 from repro.utils.validation import require, require_vertex
 
 
@@ -53,16 +57,15 @@ def enumerate_paths_onepass(graph: DiGraph, s: int, t: int, k: int) -> List[Path
 
 def run_onepass_baseline(graph: DiGraph, queries: Sequence[HCSTQuery]) -> BatchResult:
     """Process a batch with the adapted OnePass baseline (independently per query)."""
-    stage_timer = StageTimer()
-    result = BatchResult(
-        queries=list(queries),
-        stage_timer=stage_timer,
-        sharing=SharingStats(num_clusters=len(queries)),
-        algorithm="OnePass",
+    return drain(iter_onepass_baseline(graph, queries))
+
+
+def iter_onepass_baseline(
+    graph: DiGraph, queries: Sequence[HCSTQuery]
+) -> FragmentStream:
+    """Fragment generator: one ``{position: paths}`` yield per query."""
+    return per_query_fragments(
+        queries,
+        lambda query: enumerate_paths_onepass(graph, query.s, query.t, query.k),
+        "OnePass",
     )
-    with stage_timer.stage("Enumeration"):
-        for position, query in enumerate(queries):
-            result.record(
-                position, enumerate_paths_onepass(graph, query.s, query.t, query.k)
-            )
-    return result

@@ -7,24 +7,33 @@
   query sharing graph Ψ.
 * :mod:`repro.batch.batch_enum` — Algorithm 4 (``BatchEnum``/``BatchEnum+``):
   shared enumeration with materialised HC-s path queries.
-* :mod:`repro.batch.engine` — the :class:`BatchQueryEngine` facade.
+* :mod:`repro.batch.engine` — the :class:`BatchQueryEngine` facade, with a
+  blocking ``run`` and a streaming ``stream``/:func:`stream_enumerate`
+  front-end that flushes ``(batch_position, paths)`` tuples as shards,
+  clusters or queries complete.
 * :mod:`repro.batch.executor` — sharded parallel execution
-  (``num_workers > 1``): clusters are distributed across a process pool and
-  result fragments are merged deterministically by batch position.
+  (``num_workers > 1``): clusters are distributed across a process pool,
+  shard futures are drained as they complete, and result fragments are
+  keyed by batch position (plus the shared reorder-buffer flushing core
+  used by both the sequential and the parallel streaming paths).
 """
 
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import BatchResult, SharingStats, drain
 from repro.batch.cache import ResultCache
 from repro.batch.sharing_graph import QuerySharingGraph, QueryNode
 from repro.batch.clustering import cluster_queries
 from repro.batch.detection import detect_common_queries, DetectionOutcome
 from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
-from repro.batch.engine import BatchQueryEngine, ALGORITHMS
-from repro.batch.executor import run_parallel
+from repro.batch.engine import BatchQueryEngine, stream_enumerate, ALGORITHMS
+from repro.batch.executor import flush_fragments, run_parallel, stream_parallel
 
 __all__ = [
     "run_parallel",
+    "stream_parallel",
+    "stream_enumerate",
+    "flush_fragments",
+    "drain",
     "BatchResult",
     "SharingStats",
     "ResultCache",

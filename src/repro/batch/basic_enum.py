@@ -9,13 +9,24 @@ search-order optimisation (adaptive forward/backward budget split).
 ``run_pathenum_baseline`` processes each query completely independently —
 including its own per-query index construction — which is how the paper
 runs the original PathEnum as a competitor.
+
+Both runners are implemented as *fragment generators* (``iter_run`` /
+``iter_pathenum_baseline``) that yield one ``{position: paths}`` fragment
+per completed query, which is what the engine's streaming front-end drains;
+the blocking ``run`` entry points collect the same generator to completion.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import (
+    BatchResult,
+    FragmentStream,
+    SharingStats,
+    drain,
+    per_query_fragments,
+)
 from repro.enumeration.path_enum import PathEnum
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
@@ -36,6 +47,16 @@ class BasicEnum:
 
     def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
         """Process the batch and return a :class:`BatchResult`."""
+        return drain(self.iter_run(queries))
+
+    def iter_run(self, queries: Sequence[HCSTQuery]) -> FragmentStream:
+        """Fragment generator: one ``{position: paths}`` yield per query.
+
+        The shared artefacts (multi-source BFS index, CSR snapshot) are
+        still built once for the whole batch before the first fragment is
+        produced; only the per-query enumerations are interleaved with the
+        consumer.
+        """
         stage_timer = StageTimer()
         workload = QueryWorkload(self.graph, queries, stage_timer=stage_timer)
         result = BatchResult(
@@ -58,6 +79,7 @@ class BasicEnum:
         with stage_timer.stage("Enumeration"):
             for position, query in enumerate(queries):
                 result.record(position, enumerator.enumerate(query))
+                yield {position: result.paths_by_position[position]}
         return result
 
 
@@ -67,17 +89,18 @@ def run_pathenum_baseline(
     optimize_search_order: bool = False,
 ) -> BatchResult:
     """Process each query independently with its own per-query index."""
-    stage_timer = StageTimer()
-    result = BatchResult(
-        queries=list(queries),
-        stage_timer=stage_timer,
-        sharing=SharingStats(num_clusters=len(queries)),
-        algorithm="PathEnum",
-    )
-    with stage_timer.stage("Enumeration"):
-        for position, query in enumerate(queries):
-            enumerator = PathEnum(
-                graph, optimize_search_order=optimize_search_order
-            )
-            result.record(position, enumerator.enumerate(query))
-    return result
+    return drain(iter_pathenum_baseline(graph, queries, optimize_search_order))
+
+
+def iter_pathenum_baseline(
+    graph: DiGraph,
+    queries: Sequence[HCSTQuery],
+    optimize_search_order: bool = False,
+) -> FragmentStream:
+    """Fragment generator for the per-query PathEnum baseline."""
+
+    def enumerate_one(query: HCSTQuery):
+        enumerator = PathEnum(graph, optimize_search_order=optimize_search_order)
+        return enumerator.enumerate(query)
+
+    return per_query_fragments(queries, enumerate_one, "PathEnum")

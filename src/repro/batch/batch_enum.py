@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.batch.cache import ResultCache
 from repro.batch.clustering import cluster_queries
 from repro.batch.detection import DetectionOutcome, detect_common_queries
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import BatchResult, FragmentStream, SharingStats, drain
 from repro.batch.sharing_graph import QueryNode, QuerySharingGraph
 from repro.bfs.distance_index import DistanceIndex
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
@@ -84,6 +84,17 @@ class BatchEnum:
     # ------------------------------------------------------------------ #
     def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
         """Process the batch and return a :class:`BatchResult`."""
+        return drain(self.iter_run(queries))
+
+    def iter_run(self, queries: Sequence[HCSTQuery]) -> FragmentStream:
+        """Fragment generator: one ``{position: paths}`` yield per cluster.
+
+        The global stages (BuildIndex, ClusterQuery) run before the first
+        fragment; from then on every completed cluster is immediately
+        flushable.  This is the sequential twin of the parallel executor's
+        per-shard completions, so the engine's streaming front-end drains
+        both through one reorder buffer.
+        """
         stage_timer = StageTimer()
         workload = QueryWorkload(self.graph, queries, stage_timer=stage_timer)
         result = BatchResult(
@@ -105,6 +116,10 @@ class BatchEnum:
             self._process_cluster(
                 queries_by_position, index, stage_timer, result, sharing
             )
+            yield {
+                position: result.paths_by_position[position]
+                for position in sorted(cluster)
+            }
         result.sharing = sharing
         return result
 

@@ -148,6 +148,14 @@ class DetectionOutcome:
         return self.need(node, neighbor) <= remaining_budget
 
 
+#: Adjacency backends :func:`detect_common_queries` can walk.  ``csr`` (the
+#: default) reads the shared, immutable CSR snapshot — the same flat arrays
+#: the enumeration hot loops scan — so detection no longer touches the
+#: mutable ``DiGraph`` lists; ``digraph`` is the original implementation,
+#: kept so the differential tests can pin the two backends to each other.
+DETECTION_BACKENDS = ("csr", "digraph")
+
+
 def detect_common_queries(
     graph: DiGraph,
     queries_by_position: Dict[int, HCSTQuery],
@@ -155,6 +163,7 @@ def detect_common_queries(
     index: DistanceIndex,
     budget_by_position: Dict[int, int],
     max_depth: Optional[int] = None,
+    backend: str = "csr",
 ) -> DetectionOutcome:
     """Run Algorithm 3 for one cluster in one direction.
 
@@ -182,8 +191,19 @@ def detect_common_queries(
         the first hops (queries with identical or adjacent endpoints), so
         the engine defaults to a depth of 2.  ``None`` means unbounded,
         exactly as in Algorithm 3.
+    backend:
+        Which adjacency the joint frontier expansion walks: ``"csr"`` (the
+        default) scans the graph's cached CSR snapshot, ``"digraph"`` the
+        mutable adjacency lists.  Both store neighbours sorted ascending,
+        so the resulting Ψ is identical either way (pinned by the
+        differential tests).
     """
     require(bool(queries_by_position), "cluster must contain at least one query")
+    require(
+        backend in DETECTION_BACKENDS,
+        f"unknown detection backend {backend!r}; expected one of "
+        f"{DETECTION_BACKENDS}",
+    )
     forward = direction is Direction.FORWARD
     psi = QuerySharingGraph(direction)
     served: Dict[HCsPathQuery, Set[int]] = defaultdict(set)
@@ -214,7 +234,11 @@ def detect_common_queries(
         root_by_position[position] = root
         frontier[start].append((root, budget))
 
-    neighbors = graph.out_neighbors if forward else graph.in_neighbors
+    if backend == "csr":
+        adjacency = graph.csr_snapshot().adjacency_lists(forward)
+        neighbors = adjacency.__getitem__
+    else:
+        neighbors = graph.out_neighbors if forward else graph.in_neighbors
     max_budget = max(budget_by_position.values(), default=0)
     min_budget_considered = 0 if max_depth is None else max(0, max_budget - max_depth)
 

@@ -20,15 +20,43 @@ name           algorithm
 per cluster for ``batch``/``batch+``, per contiguous query slice for the
 per-query algorithms — with results merged deterministically by batch
 position (see :mod:`repro.batch.executor` for the design).
+
+Streaming front-end
+-------------------
+``engine.stream(queries)`` (and the module-level :func:`stream_enumerate`)
+yields ``(batch_position, paths)`` tuples as soon as the owning
+shard/cluster/query completes instead of materialising a full
+:class:`BatchResult` at the end; ``engine.run(queries)`` is a thin wrapper
+that collects that same stream, so every algorithm in the table above
+streams for free.  Two flush policies:
+
+==================  ====================================================
+``ordered=True``    positions are flushed in batch order (a reorder
+                    buffer withholds position ``i`` until all positions
+                    ``< i`` have been flushed) — use when the consumer
+                    needs the batch's submission order.
+``ordered=False``   fragments are flushed on completion with their batch
+                    positions attached — prefer this when consumers can
+                    handle out-of-order delivery (e.g. a result queue
+                    keyed by position): on skewed batches it minimises
+                    time-to-first-result because a fast cluster is never
+                    held hostage by a slow, earlier-positioned one.
+==================  ====================================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
+from repro.batch.basic_enum import BasicEnum, iter_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
-from repro.batch.results import BatchResult
+from repro.batch.results import (
+    BatchResult,
+    FragmentStream,
+    ResultStream,
+    drain,
+)
+from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.utils.validation import require
@@ -92,55 +120,92 @@ class BatchQueryEngine:
     def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
         """Process ``queries`` with the configured algorithm.
 
-        An empty batch is answered immediately with an empty
-        :class:`BatchResult` — callers draining dynamic queues need no
-        pre-check.  With ``num_workers > 1`` the batch is sharded across
-        worker processes (see :mod:`repro.batch.executor`); results are
-        identical to the single-process run, merged by batch position.
+        A thin collect-the-stream wrapper: the same fragment pipeline that
+        backs :meth:`stream` is drained to exhaustion and its
+        :class:`BatchResult` returned.  An empty batch is answered
+        immediately with an empty :class:`BatchResult` — callers draining
+        dynamic queues need no pre-check.  With ``num_workers > 1`` the
+        batch is sharded across worker processes (see
+        :mod:`repro.batch.executor`); results are identical to the
+        single-process run, keyed by batch position.
         """
+        return drain(self._stream_core(list(queries), ordered=True))
+
+    def stream(
+        self, queries: Sequence[HCSTQuery], ordered: bool = True
+    ) -> Iterator[Tuple[int, List[Path]]]:
+        """Yield ``(batch_position, paths)`` as completions land.
+
+        Results are flushed as soon as the shard/cluster (or, sequentially,
+        the cluster/query) owning a batch position completes, instead of
+        waiting for the whole batch.  With ``ordered=True`` positions are
+        released strictly in batch order; with ``ordered=False`` they are
+        released on completion, each tuple carrying its position — prefer
+        that on skewed batches where time-to-first-result matters more than
+        delivery order.  An empty batch yields nothing.  An exception
+        raised while processing any shard propagates out of the iterator;
+        positions flushed before the failure have already been delivered.
+
+        With ``num_workers > 1``, abandoning the iterator early (``break``
+        or ``close()``) cancels shards that have not started but blocks
+        until the shards already running in worker processes finish — the
+        pool is joined before the generator's cleanup returns, so no
+        orphaned workers outlive the stream.
+        """
+        yield from self._stream_core(list(queries), ordered=ordered)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _stream_core(
+        self, queries: List[HCSTQuery], ordered: bool
+    ) -> ResultStream:
+        """The shared fragment pipeline behind :meth:`run` and
+        :meth:`stream`: pick a fragment generator (sequential runner or
+        parallel executor) and push it through the flushing core."""
+        from repro.batch.executor import flush_fragments, stream_parallel
+
         if not queries:
             return BatchResult(
                 queries=[], algorithm=DISPLAY_NAMES[self.algorithm]
             )
         if self.num_workers > 1:
-            from repro.batch.executor import run_parallel
-
-            return run_parallel(
+            fragments = stream_parallel(
                 self.graph,
                 queries,
                 algorithm=self.algorithm,
                 gamma=self.gamma,
                 num_workers=self.num_workers,
             )
-        runner = self._runner()
-        return runner(queries)
+        else:
+            fragments = self._fragment_runner()(queries)
+        result = yield from flush_fragments(fragments, len(queries), ordered)
+        return result
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _runner(self) -> Callable[[Sequence[HCSTQuery]], BatchResult]:
+    def _fragment_runner(self) -> Callable[[Sequence[HCSTQuery]], FragmentStream]:
+        """The sequential fragment generator of the configured algorithm."""
         if self.algorithm == "pathenum":
-            return lambda queries: run_pathenum_baseline(self.graph, queries)
+            return lambda queries: iter_pathenum_baseline(self.graph, queries)
         if self.algorithm == "basic":
-            return BasicEnum(self.graph, optimize_search_order=False).run
+            return BasicEnum(self.graph, optimize_search_order=False).iter_run
         if self.algorithm == "basic+":
-            return BasicEnum(self.graph, optimize_search_order=True).run
+            return BasicEnum(self.graph, optimize_search_order=True).iter_run
         if self.algorithm == "batch":
             return BatchEnum(
                 self.graph, gamma=self.gamma, optimize_search_order=False
-            ).run
+            ).iter_run
         if self.algorithm == "batch+":
             return BatchEnum(
                 self.graph, gamma=self.gamma, optimize_search_order=True
-            ).run
+            ).iter_run
         if self.algorithm == "dksp":
-            from repro.baselines.dksp import run_dksp_baseline
+            from repro.baselines.dksp import iter_dksp_baseline
 
-            return lambda queries: run_dksp_baseline(self.graph, queries)
+            return lambda queries: iter_dksp_baseline(self.graph, queries)
         if self.algorithm == "onepass":
-            from repro.baselines.onepass import run_onepass_baseline
+            from repro.baselines.onepass import iter_onepass_baseline
 
-            return lambda queries: run_onepass_baseline(self.graph, queries)
+            return lambda queries: iter_onepass_baseline(self.graph, queries)
         raise ValueError(f"unhandled algorithm {self.algorithm!r}")
 
 
@@ -156,3 +221,22 @@ def batch_enumerate(
         graph, algorithm=algorithm, gamma=gamma, num_workers=num_workers
     )
     return engine.run(queries)
+
+
+def stream_enumerate(
+    graph: DiGraph,
+    queries: Sequence[HCSTQuery],
+    algorithm: str = "batch+",
+    gamma: float = 0.5,
+    num_workers: int = 1,
+    ordered: bool = True,
+) -> Iterator[Tuple[int, List[Path]]]:
+    """Functional wrapper around :meth:`BatchQueryEngine.stream`.
+
+    Yields ``(batch_position, paths)`` tuples as completions land; see the
+    engine docstring for the ``ordered`` flush policies.
+    """
+    engine = BatchQueryEngine(
+        graph, algorithm=algorithm, gamma=gamma, num_workers=num_workers
+    )
+    return engine.stream(queries, ordered=ordered)

@@ -37,16 +37,44 @@ the workers' own ``Enumeration`` totals are discarded to avoid counting that
 span twice.  The remaining worker stages (``BuildIndex``,
 ``IdentifySubquery``) are accumulated across workers, so with N workers
 those entries reflect summed CPU effort and can exceed wall-clock time.
+
+Streaming
+---------
+:func:`stream_parallel` is the fragment-generator form of the fan-out: it
+drains the shard futures with :func:`concurrent.futures.as_completed` and
+yields each shard's ``{position: paths}`` fragment the moment it lands, so
+the first finished cluster never waits on the slowest one.
+:func:`run_parallel` is simply ``drain(stream_parallel(...))``.  The
+engine's ``stream``/``run`` front-end pushes both the parallel and the
+sequential (``num_workers=1``) fragment generators through one
+:func:`flush_fragments` reorder buffer, with two flush policies:
+
+* ``ordered=True`` — positions are released in batch order; position ``i``
+  is withheld until every position ``< i`` has been released.
+* ``ordered=False`` — fragments are released the instant they complete,
+  each tuple carrying its batch position, which minimises the
+  time-to-first-result on skewed batches.
+
+A shard that raises inside a worker surfaces its exception from the drain
+loop (pending shards are cancelled, the pool is shut down); fragments that
+were already flushed have already reached the consumer and are not lost.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.batch.batch_enum import DEFAULT_MAX_DETECTION_DEPTH, BatchEnum
-from repro.batch.results import BatchResult, SharingStats
+from repro.batch.results import (
+    BatchResult,
+    FragmentStream,
+    ResultStream,
+    SharingStats,
+    drain,
+)
 from repro.bfs.distance_index import build_index
+from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.queries.workload import QueryWorkload
@@ -128,10 +156,41 @@ def run_parallel(
 ) -> BatchResult:
     """Process ``queries`` with ``num_workers`` worker processes.
 
-    Results are merged deterministically by batch position and are
-    identical (same paths, same order, per position) to a sequential run.
+    Results are keyed by batch position, so the final :class:`BatchResult`
+    is identical (same paths, same order, per position) to a sequential run
+    regardless of worker scheduling.
     """
-    require(num_workers >= 2, "run_parallel requires num_workers >= 2")
+    return drain(
+        stream_parallel(
+            graph,
+            queries,
+            algorithm=algorithm,
+            gamma=gamma,
+            num_workers=num_workers,
+            max_detection_depth=max_detection_depth,
+        )
+    )
+
+
+def stream_parallel(
+    graph: DiGraph,
+    queries: Sequence[HCSTQuery],
+    algorithm: str,
+    gamma: float,
+    num_workers: int,
+    max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+) -> FragmentStream:
+    """Fragment generator over shard completions (``num_workers >= 2``).
+
+    Shards (clusters for ``batch``/``batch+``, contiguous query slices for
+    the per-query algorithms) are submitted to a process pool and drained
+    with ``as_completed``: every shard's ``{position: paths}`` fragment is
+    recorded into the :class:`BatchResult` and yielded the moment its
+    future lands.  If a shard raises, the exception propagates out of the
+    generator after the pending futures are cancelled and the pool is shut
+    down — the drain loop never hangs on a poisoned shard.
+    """
+    require(num_workers >= 2, "stream_parallel requires num_workers >= 2")
     from repro.batch.clustering import cluster_queries
     from repro.batch.engine import DISPLAY_NAMES
 
@@ -168,28 +227,93 @@ def run_parallel(
         "max_detection_depth": max_detection_depth,
     }
     with stage_timer.stage("Enumeration"):
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=num_workers,
             initializer=_init_worker,
             initargs=(graph, config),
-        ) as pool:
+        )
+        try:
             futures = [pool.submit(worker_fn, *make_args(task)) for task in tasks]
-            # Merge in submission order — deterministic regardless of which
-            # worker finishes first.
-            for future in futures:
+            for future in as_completed(futures):
                 paths_by_position, fragment_sharing, stage_totals = future.result()
                 for position in sorted(paths_by_position):
                     result.record(position, paths_by_position[position])
+                # SharingStats.merge and StageTimer.add are commutative, so
+                # the completion order does not affect the merged totals.
                 sharing.merge(fragment_sharing)
                 for name, seconds in sorted(stage_totals.items()):
                     if name != "Enumeration":  # already inside the stage
                         stage_timer.add(name, seconds)
+                yield {
+                    position: result.paths_by_position[position]
+                    for position in sorted(paths_by_position)
+                }
+        finally:
+            # On an error (or an abandoned consumer) cancel whatever has not
+            # started; running shards finish or fail on their own, and the
+            # wait guarantees no orphaned worker processes.
+            pool.shutdown(wait=True, cancel_futures=True)
 
     if algorithm not in CLUSTERED_ALGORITHMS:
         # Per-query algorithms report one "cluster" per query, like their
         # sequential counterparts do.
         sharing.num_clusters = len(queries)
     result.sharing = sharing
+    return result
+
+
+def flush_fragments(
+    fragments: FragmentStream, total_positions: int, ordered: bool
+) -> ResultStream:
+    """The shared flushing core of the streaming front-end.
+
+    Drains a fragment generator (sequential per-cluster/per-query or
+    parallel per-shard — both speak the same ``{position: paths}``
+    protocol) and yields ``(batch_position, paths)`` tuples under one of
+    two policies:
+
+    * ``ordered=True`` — a per-position reorder buffer holds completed
+      positions until all of their predecessors have been released, so the
+      consumer sees positions ``0, 1, 2, …`` exactly in batch order.
+    * ``ordered=False`` — every fragment is released the instant it
+      arrives (within a fragment, positions are released ascending so the
+      output is deterministic given a completion order).
+
+    This is itself a generator whose return value is the fragment
+    generator's :class:`BatchResult`, which is how ``run()`` stays a thin
+    collect-the-stream wrapper.
+    """
+    reorder_buffer: Dict[int, List[Path]] = {}
+    cursor = 0
+    flushed = 0
+    try:
+        while True:
+            try:
+                fragment = next(fragments)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            if ordered:
+                reorder_buffer.update(fragment)
+                while cursor in reorder_buffer:
+                    yield cursor, reorder_buffer.pop(cursor)
+                    cursor += 1
+                    flushed += 1
+            else:
+                for position in sorted(fragment):
+                    yield position, fragment[position]
+                    flushed += 1
+    finally:
+        # Deterministically close the upstream generator (it may be holding
+        # a process pool open in its own finally) instead of relying on
+        # refcount-driven finalisation when the consumer abandons us.
+        fragments.close()
+    require(
+        not reorder_buffer and flushed == total_positions,
+        "fragment stream ended without covering every batch position "
+        f"(flushed {flushed} of {total_positions}, "
+        f"{len(reorder_buffer)} stranded in the reorder buffer)",
+    )
     return result
 
 

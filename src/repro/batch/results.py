@@ -1,13 +1,75 @@
-"""Result containers for batch runs."""
+"""Result containers and streaming-fragment scaffolding for batch runs.
+
+Every batch runner in this package is written as a *fragment generator*: a
+generator that yields ``{batch position: [paths]}`` dictionaries as units of
+work (clusters, shards or single queries) complete, and whose generator
+return value is the fully populated :class:`BatchResult`.  The blocking
+``run`` entry points simply :func:`drain` such a generator, while the
+streaming front-end (:meth:`repro.batch.engine.BatchQueryEngine.stream`)
+forwards the fragments through a reorder buffer as they arrive.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.enumeration.paths import Path, sort_paths
 from repro.queries.query import HCSTQuery
 from repro.utils.timer import StageTimer
+
+#: One unit of streamed output: result paths keyed by batch position.
+PathFragment = Dict[int, List[Path]]
+
+#: A fragment generator: yields :data:`PathFragment` units as they complete
+#: and returns the finished :class:`BatchResult` when exhausted.
+FragmentStream = Generator[PathFragment, None, "BatchResult"]
+
+#: The consumer-facing stream shape: ``(batch_position, paths)`` tuples,
+#: returning the finished :class:`BatchResult` when exhausted (what the
+#: flushing core turns a :data:`FragmentStream` into).
+ResultStream = Generator[Tuple[int, List[Path]], None, "BatchResult"]
+
+
+def drain(fragments: FragmentStream) -> "BatchResult":
+    """Run a fragment generator to exhaustion and return its result.
+
+    This is what turns any streaming runner back into a blocking ``run``
+    call: the yielded fragments are discarded (they were already recorded
+    into the underlying :class:`BatchResult`) and the generator's return
+    value is handed back.
+    """
+    while True:
+        try:
+            next(fragments)
+        except StopIteration as stop:
+            return stop.value
+
+
+def per_query_fragments(
+    queries: Sequence[HCSTQuery],
+    enumerate_one: Callable[[HCSTQuery], Sequence[Path]],
+    algorithm: str,
+) -> FragmentStream:
+    """Fragment generator for algorithms with no cross-query state.
+
+    ``pathenum``, ``dksp`` and ``onepass`` all share this shape: every query
+    is enumerated independently inside one ``Enumeration`` stage and each
+    completed query is immediately flushable, so the whole runner is a loop
+    that records and yields one single-position fragment per query.
+    """
+    stage_timer = StageTimer()
+    result = BatchResult(
+        queries=list(queries),
+        stage_timer=stage_timer,
+        sharing=SharingStats(num_clusters=len(queries)),
+        algorithm=algorithm,
+    )
+    with stage_timer.stage("Enumeration"):
+        for position, query in enumerate(queries):
+            result.record(position, enumerate_one(query))
+            yield {position: result.paths_by_position[position]}
+    return result
 
 
 @dataclass

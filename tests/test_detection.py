@@ -9,7 +9,7 @@ from repro.graph.generators import paper_example_graph, random_directed_gnm
 from repro.queries.query import Direction, HCSTQuery, HCsPathQuery
 
 
-def _detect(graph, queries_by_position, direction, max_depth=None):
+def _detect(graph, queries_by_position, direction, max_depth=None, backend="csr"):
     triples = [(q.s, q.t, q.k) for q in queries_by_position.values()]
     index = build_index_for_queries(graph, triples)
     if direction is Direction.FORWARD:
@@ -17,7 +17,13 @@ def _detect(graph, queries_by_position, direction, max_depth=None):
     else:
         budgets = {pos: q.backward_budget for pos, q in queries_by_position.items()}
     return detect_common_queries(
-        graph, queries_by_position, direction, index, budgets, max_depth=max_depth
+        graph,
+        queries_by_position,
+        direction,
+        index,
+        budgets,
+        max_depth=max_depth,
+        backend=backend,
     )
 
 
@@ -148,6 +154,67 @@ def test_max_depth_limits_detection():
     assert shallow.num_shared_nodes == 0
     deep = _detect(graph, cluster, Direction.FORWARD, max_depth=None)
     assert deep.num_shared_nodes >= 1
+
+
+def _psi_signature(outcome):
+    """Everything that defines a detection outcome, in hashable form: the
+    node set and edge set of Ψ, the per-position roots/budgets and the
+    served-query map."""
+    psi = outcome.sharing_graph
+    nodes = frozenset(psi.nodes())
+    edges = frozenset(
+        (provider, consumer)
+        for provider in psi.nodes()
+        for consumer in psi.consumers_of(provider)
+    )
+    served = {node: frozenset(ps) for node, ps in outcome.served_queries.items()}
+    return (
+        nodes,
+        edges,
+        dict(outcome.root_by_position),
+        dict(outcome.budget_by_position),
+        served,
+    )
+
+
+@pytest.mark.parametrize("direction", [Direction.FORWARD, Direction.BACKWARD])
+@pytest.mark.parametrize("max_depth", [None, 1, 2])
+@pytest.mark.parametrize("seed", range(4))
+def test_detection_backends_produce_identical_psi(seed, max_depth, direction):
+    """Differential: the CSR-snapshot backend and the original DiGraph
+    adjacency walk yield byte-identical sharing graphs Ψ."""
+    graph = random_directed_gnm(40, 220, seed=seed)
+    cluster = {
+        0: HCSTQuery(0, 10, 4),
+        1: HCSTQuery(1, 10, 4),
+        2: HCSTQuery(0, 11, 5),
+        3: HCSTQuery(2, 12, 3),
+    }
+    csr = _detect(graph, cluster, direction, max_depth=max_depth, backend="csr")
+    via_digraph = _detect(
+        graph, cluster, direction, max_depth=max_depth, backend="digraph"
+    )
+    assert _psi_signature(csr) == _psi_signature(via_digraph)
+
+
+def test_detection_backends_identical_on_paper_example():
+    graph = paper_example_graph()
+    cluster = {
+        0: HCSTQuery(0, 11, 5),
+        1: HCSTQuery(2, 13, 5),
+        2: HCSTQuery(5, 12, 5),
+    }
+    for direction in (Direction.FORWARD, Direction.BACKWARD):
+        csr = _detect(graph, cluster, direction, backend="csr")
+        via_digraph = _detect(graph, cluster, direction, backend="digraph")
+        assert _psi_signature(csr) == _psi_signature(via_digraph)
+
+
+def test_detection_rejects_unknown_backend(paper_graph):
+    with pytest.raises(ValueError):
+        _detect(
+            paper_graph, {0: HCSTQuery(0, 11, 5)}, Direction.FORWARD, backend="numpy"
+        )
 
 
 def test_need_is_monotone_in_distance(paper_graph):

@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.batch.batch_enum import BatchEnum
 from repro.batch.basic_enum import BasicEnum
 from repro.batch.clustering import cluster_queries
+from repro.batch.engine import BatchQueryEngine
 from repro.enumeration.brute_force import enumerate_paths_brute_force
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
 from repro.enumeration.path_enum import enumerate_paths
@@ -130,6 +131,41 @@ def test_join_never_emits_duplicates_or_invalid_paths(graph, s, t, k):
     assert len(joined) == len(set(joined))
     expected = sort_paths(enumerate_paths_brute_force(graph, s, t, k))
     assert sort_paths(joined) == expected
+
+
+@given(
+    graph_and_queries(),
+    st.sampled_from(["pathenum", "basic+", "batch", "batch+"]),
+)
+@SETTINGS
+def test_stream_ordered_yields_each_position_exactly_once_in_order(data, algorithm):
+    """``ordered=True`` flushes strictly increasing batch positions, every
+    position exactly once — i.e. the position sequence IS ``0..n-1``."""
+    graph, queries = data
+    engine = BatchQueryEngine(graph, algorithm=algorithm)
+    positions = [position for position, _ in engine.stream(queries, ordered=True)]
+    assert positions == list(range(len(queries)))
+
+
+@given(graph_and_queries(), st.sampled_from([0.0, 0.5, 1.0]))
+@SETTINGS
+def test_stream_unordered_is_a_permutation_matching_run(data, gamma):
+    """``ordered=False`` still delivers every position exactly once, and the
+    collected results equal the blocking ``run()`` exactly."""
+    graph, queries = data
+    engine = BatchQueryEngine(graph, algorithm="batch+", gamma=gamma)
+    flushed = list(engine.stream(queries, ordered=False))
+    positions = [position for position, _ in flushed]
+    assert sorted(positions) == list(range(len(queries)))
+    assert dict(flushed) == engine.run(queries).paths_by_position
+
+
+def test_stream_empty_batch_yields_nothing_without_raising():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    for algorithm in ("pathenum", "basic", "batch+", "onepass"):
+        for ordered in (True, False):
+            engine = BatchQueryEngine(graph, algorithm=algorithm)
+            assert list(engine.stream([], ordered=ordered)) == []
 
 
 def _all_paths_from(graph, start, budget, forward):
