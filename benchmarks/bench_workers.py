@@ -7,6 +7,12 @@ single-process results, and writes a ``BENCH_workers.json`` artifact next
 to this file so successive PRs can track the parallel executor's overhead
 and speedup.
 
+Each record also carries the planner's ``estimated_cost_units`` for its
+workload, which is what lets
+:meth:`repro.batch.planner.CostModel.from_benchmark` calibrate both the
+pool-spawn overhead (extra wall time of the multi-worker runs) and the
+seconds-per-cost-unit rate against the executor actually in the tree.
+
 Standalone by design (no pytest-benchmark dependency)::
 
     PYTHONPATH=src python benchmarks/bench_workers.py [--quick]
@@ -21,6 +27,7 @@ import time
 from pathlib import Path
 
 from repro.batch.engine import BatchQueryEngine
+from repro.batch.planner import QueryPlanner
 from repro.experiments.datasets import load_dataset
 from repro.graph.sampling import sample_vertices
 from repro.queries.generation import generate_random_queries
@@ -47,6 +54,10 @@ def run(quick: bool = False) -> dict:
             graph, queries = _workload(dataset, fraction)
             baseline_paths = None
             for algorithm in ALGORITHMS:
+                plan = QueryPlanner(graph, algorithm=algorithm).plan(
+                    queries, num_workers=1
+                )
+                cost_units = round(plan.total_estimated_cost, 3)
                 for num_workers in WORKER_COUNTS:
                     engine = BatchQueryEngine(
                         graph,
@@ -71,6 +82,7 @@ def run(quick: bool = False) -> dict:
                             "algorithm": algorithm,
                             "num_workers": num_workers,
                             "wall_seconds": round(wall, 6),
+                            "estimated_cost_units": cost_units,
                             "total_paths": result.total_paths(),
                             "num_clusters": result.sharing.num_clusters,
                             "graph_vertices": graph.num_vertices,

@@ -13,7 +13,7 @@ in a few minutes; the full-scale sweeps are available through the
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Tuple
 
 import pytest
 

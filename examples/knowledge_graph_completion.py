@@ -18,7 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-import math
 import random
 
 from repro import BatchQueryEngine, HCSTQuery

@@ -8,14 +8,20 @@
 * :mod:`repro.batch.batch_enum` — Algorithm 4 (``BatchEnum``/``BatchEnum+``):
   shared enumeration with materialised HC-s path queries.
 * :mod:`repro.batch.engine` — the :class:`BatchQueryEngine` facade, with a
-  blocking ``run`` and a streaming ``stream``/:func:`stream_enumerate`
+  blocking ``run``, a streaming ``stream``/:func:`stream_enumerate`
   front-end that flushes ``(batch_position, paths)`` tuples as shards,
-  clusters or queries complete.
-* :mod:`repro.batch.executor` — sharded parallel execution
-  (``num_workers > 1``): clusters are distributed across a process pool,
-  shard futures are drained as they complete, and result fragments are
-  keyed by batch position (plus the shared reorder-buffer flushing core
-  used by both the sequential and the parallel streaming paths).
+  clusters or queries complete, and an ``explain()`` API returning the
+  execution plan without running it.
+* :mod:`repro.batch.planner` — the plan phase of the plan→execute split:
+  :class:`QueryPlanner` emits an :class:`ExecutionPlan` (shard
+  assignments, cost-model-resolved worker count, index ship-vs-rebuild
+  decision) that both the sequential and the parallel paths consume.
+* :mod:`repro.batch.executor` — plan-driven sharded parallel execution:
+  shards are distributed across a process pool (the parent-built index
+  optionally shipped once via the pool initializer), shard futures are
+  drained as they complete, and result fragments are keyed by batch
+  position (plus the shared reorder-buffer flushing core used by both the
+  sequential and the parallel streaming paths).
 """
 
 from repro.batch.results import BatchResult, SharingStats, drain
@@ -25,7 +31,18 @@ from repro.batch.clustering import cluster_queries
 from repro.batch.detection import detect_common_queries, DetectionOutcome
 from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
-from repro.batch.engine import BatchQueryEngine, stream_enumerate, ALGORITHMS
+from repro.batch.engine import (
+    ALGORITHMS,
+    BatchQueryEngine,
+    stream_enumerate,
+    validate_num_workers,
+)
+from repro.batch.planner import (
+    CostModel,
+    ExecutionPlan,
+    QueryPlanner,
+    ShardPlan,
+)
 from repro.batch.executor import flush_fragments, run_parallel, stream_parallel
 
 __all__ = [
@@ -33,6 +50,11 @@ __all__ = [
     "stream_parallel",
     "stream_enumerate",
     "flush_fragments",
+    "validate_num_workers",
+    "CostModel",
+    "ExecutionPlan",
+    "QueryPlanner",
+    "ShardPlan",
     "drain",
     "BatchResult",
     "SharingStats",

@@ -49,16 +49,23 @@ class BasicEnum:
         """Process the batch and return a :class:`BatchResult`."""
         return drain(self.iter_run(queries))
 
-    def iter_run(self, queries: Sequence[HCSTQuery]) -> FragmentStream:
+    def iter_run(
+        self,
+        queries: Sequence[HCSTQuery],
+        workload: Optional[QueryWorkload] = None,
+    ) -> FragmentStream:
         """Fragment generator: one ``{position: paths}`` yield per query.
 
         The shared artefacts (multi-source BFS index, CSR snapshot) are
         still built once for the whole batch before the first fragment is
         produced; only the per-query enumerations are interleaved with the
-        consumer.
+        consumer.  A caller that already owns a covering workload (the
+        query planner, or a worker that received a shipped index) passes it
+        via ``workload`` so the index is not rebuilt.
         """
-        stage_timer = StageTimer()
-        workload = QueryWorkload(self.graph, queries, stage_timer=stage_timer)
+        if workload is None:
+            workload = QueryWorkload(self.graph, queries, stage_timer=StageTimer())
+        stage_timer = workload.stage_timer
         result = BatchResult(
             queries=list(queries),
             stage_timer=stage_timer,

@@ -27,8 +27,12 @@ from repro.batch.cache import ResultCache
 from repro.batch.clustering import cluster_queries
 from repro.batch.detection import DetectionOutcome, detect_common_queries
 from repro.batch.results import BatchResult, FragmentStream, SharingStats, drain
-from repro.batch.sharing_graph import QueryNode, QuerySharingGraph
-from repro.bfs.distance_index import DistanceIndex
+from repro.bfs.distance_index import (
+    CSRDistanceIndex,
+    DistanceIndex,
+    UNREACHABLE,
+    densify_distances,
+)
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
 from repro.enumeration.paths import Path
 from repro.enumeration.search_order import choose_budget_split
@@ -86,7 +90,12 @@ class BatchEnum:
         """Process the batch and return a :class:`BatchResult`."""
         return drain(self.iter_run(queries))
 
-    def iter_run(self, queries: Sequence[HCSTQuery]) -> FragmentStream:
+    def iter_run(
+        self,
+        queries: Sequence[HCSTQuery],
+        workload: Optional[QueryWorkload] = None,
+        clusters: Optional[List[List[int]]] = None,
+    ) -> FragmentStream:
         """Fragment generator: one ``{position: paths}`` yield per cluster.
 
         The global stages (BuildIndex, ClusterQuery) run before the first
@@ -94,9 +103,14 @@ class BatchEnum:
         flushable.  This is the sequential twin of the parallel executor's
         per-shard completions, so the engine's streaming front-end drains
         both through one reorder buffer.
+
+        ``workload``/``clusters`` let a caller that already built the shared
+        artefacts (the query planner) hand them over instead of rebuilding;
+        the computation is identical either way, only performed once.
         """
-        stage_timer = StageTimer()
-        workload = QueryWorkload(self.graph, queries, stage_timer=stage_timer)
+        if workload is None:
+            workload = QueryWorkload(self.graph, queries, stage_timer=StageTimer())
+        stage_timer = workload.stage_timer
         result = BatchResult(
             queries=list(queries), stage_timer=stage_timer, algorithm=self.name
         )
@@ -105,8 +119,9 @@ class BatchEnum:
             # Pack (or reuse) the shared CSR snapshot the enumeration reads.
             self.graph.csr_snapshot()
 
-        with stage_timer.stage("ClusterQuery"):
-            clusters = cluster_queries(workload, self.gamma)
+        if clusters is None:
+            with stage_timer.stage("ClusterQuery"):
+                clusters = cluster_queries(workload, self.gamma)
 
         sharing = SharingStats(num_clusters=len(clusters))
         for cluster in clusters:
@@ -262,12 +277,27 @@ class BatchEnum:
         # iff some served query can still complete a path through ``v``.
         # That condition is ``need(v) <= r`` with ``need`` independent of the
         # current prefix, so it is memoised per vertex; duplicate queries
-        # collapse to a single (endpoint, slack) constant.
+        # collapse to a single (endpoint, slack) constant.  Distances are
+        # read from dense rows indexed directly by vertex id; a legacy dict
+        # index is densified once per node so both representations share
+        # this loop.
         slack_constants = outcome.slack_constants(node)
-        distance_maps = [
-            ((index.to_target if forward else index.from_source)[endpoint], constant)
-            for endpoint, constant in slack_constants
-        ]
+        if isinstance(index, CSRDistanceIndex):
+            distance_rows = [
+                (index.dense_to(e) if forward else index.dense_from(e), constant)
+                for e, constant in slack_constants
+            ]
+        else:
+            distance_rows = [
+                (
+                    densify_distances(
+                        (index.to_target if forward else index.from_source)[e],
+                        self.graph.num_vertices,
+                    ),
+                    constant,
+                )
+                for e, constant in slack_constants
+            ]
         infinity = float("inf")
         need_cache: Dict[int, float] = {}
 
@@ -275,9 +305,9 @@ class BatchEnum:
             cached_need = need_cache.get(vertex)
             if cached_need is None:
                 cached_need = infinity
-                for distances, constant in distance_maps:
-                    distance = distances.get(vertex)
-                    if distance is not None and distance + constant < cached_need:
+                for row, constant in distance_rows:
+                    distance = row[vertex]
+                    if distance != UNREACHABLE and distance + constant < cached_need:
                         cached_need = distance + constant
                 need_cache[vertex] = cached_need
             return cached_need

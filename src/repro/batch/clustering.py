@@ -10,7 +10,7 @@ have similarity above the threshold γ.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.queries.similarity import QuerySimilarityMatrix
 from repro.queries.workload import QueryWorkload

@@ -16,10 +16,37 @@ name           algorithm
 ``onepass``    adapted k-shortest-paths-with-limited-overlap baseline
 =============  =====================================================
 
-``num_workers > 1`` shards the batch across worker processes —
-per cluster for ``batch``/``batch+``, per contiguous query slice for the
-per-query algorithms — with results merged deterministically by batch
-position (see :mod:`repro.batch.executor` for the design).
+Plan → execute pipeline
+-----------------------
+Every non-trivial run goes through two explicit phases:
+
+1. **Plan** — a :class:`~repro.batch.planner.QueryPlanner` runs the cheap
+   global stages once (multi-source BFS index, clustering), estimates
+   per-shard enumeration costs, resolves the worker count and decides
+   whether the parent-built array-backed index should be *shipped* to the
+   worker pool (serialized once into the pool initializer) or rebuilt per
+   worker.  The resulting :class:`~repro.batch.planner.ExecutionPlan` is a
+   plain inspectable object — :meth:`BatchQueryEngine.explain` returns it
+   without executing anything.
+2. **Execute** — the sequential fragment generators (``num_workers`` 1) or
+   the plan-driven parallel executor (:mod:`repro.batch.executor`) consume
+   the plan's prebuilt artefacts; planning work is never repeated.
+
+``num_workers`` accepts a positive integer or ``"auto"`` (the default):
+``auto`` lets the plan's cost model — calibrated against
+``BENCH_workers.json`` — decide whether sharding across processes clears
+the pool-spawn overhead, falling back to the (always safe) sequential path
+otherwise.  Validation is eager: a bad value raises in ``__init__``, not
+deep inside the executor.
+
+>>> from repro.graph.generators import paper_example_graph
+>>> from repro.queries.query import HCSTQuery
+>>> engine = BatchQueryEngine(paper_example_graph(), algorithm="batch+")
+>>> plan = engine.explain([HCSTQuery(0, 11, 5), HCSTQuery(2, 13, 5)])
+>>> plan.num_workers  # tiny workload: the cost model stays sequential
+1
+>>> len(plan.shards) >= 1
+True
 
 Streaming front-end
 -------------------
@@ -46,10 +73,17 @@ streams for free.  Two flush policies:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.batch.basic_enum import BasicEnum, iter_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
+from repro.batch.planner import (
+    CostModel,
+    ExecutionPlan,
+    NumWorkers,
+    QueryPlanner,
+    validate_num_workers,
+)
 from repro.batch.results import (
     BatchResult,
     FragmentStream,
@@ -85,7 +119,6 @@ DISPLAY_NAMES = {
     "onepass": "OnePass",
 }
 
-
 class BatchQueryEngine:
     """One-call batch HC-s-t path query processing.
 
@@ -97,6 +130,23 @@ class BatchQueryEngine:
     >>> result = engine.run([HCSTQuery(0, 11, 5), HCSTQuery(2, 13, 5)])
     >>> len(result.paths_at(0))
     3
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    gamma:
+        Clustering threshold for the sharing-aware algorithms.
+    num_workers:
+        Positive integer, or ``"auto"`` (default) to let the query
+        planner's cost model decide per batch.
+    cost_model:
+        Optional :class:`~repro.batch.planner.CostModel` override for the
+        planner (tests and benchmarks use this to force decisions).
+    max_workers:
+        Cap for ``"auto"`` resolution (defaults to ``os.cpu_count()``).
     """
 
     def __init__(
@@ -104,19 +154,49 @@ class BatchQueryEngine:
         graph: DiGraph,
         algorithm: str = "batch+",
         gamma: float = 0.5,
-        num_workers: int = 1,
+        num_workers: NumWorkers = "auto",
+        cost_model: Optional[CostModel] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         require(
             algorithm in ALGORITHMS,
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}",
         )
         require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
-        require(num_workers >= 1, "num_workers must be >= 1")
         self.graph = graph
         self.algorithm = algorithm
         self.gamma = gamma
-        self.num_workers = num_workers
+        self.num_workers = validate_num_workers(num_workers)
+        self.cost_model = cost_model
+        self.max_workers = max_workers
 
+    # ------------------------------------------------------------------ #
+    # Planning API
+    # ------------------------------------------------------------------ #
+    def explain(self, queries: Sequence[HCSTQuery]) -> ExecutionPlan:
+        """Plan ``queries`` without executing them.
+
+        Returns the :class:`~repro.batch.planner.ExecutionPlan` that
+        ``run``/``stream`` would follow: shard assignments, the resolved
+        worker count, the index ship-vs-rebuild decision and the cost
+        estimates behind each choice.  ``plan.describe()`` renders it
+        human-readably.
+        """
+        return self._plan(list(queries))
+
+    def _plan(self, queries: List[HCSTQuery]) -> ExecutionPlan:
+        planner = QueryPlanner(
+            self.graph,
+            algorithm=self.algorithm,
+            gamma=self.gamma,
+            cost_model=self.cost_model,
+            max_workers=self.max_workers,
+        )
+        return planner.plan(queries, num_workers=self.num_workers)
+
+    # ------------------------------------------------------------------ #
+    # Execution API
+    # ------------------------------------------------------------------ #
     def run(self, queries: Sequence[HCSTQuery]) -> BatchResult:
         """Process ``queries`` with the configured algorithm.
 
@@ -124,10 +204,9 @@ class BatchQueryEngine:
         backs :meth:`stream` is drained to exhaustion and its
         :class:`BatchResult` returned.  An empty batch is answered
         immediately with an empty :class:`BatchResult` — callers draining
-        dynamic queues need no pre-check.  With ``num_workers > 1`` the
-        batch is sharded across worker processes (see
-        :mod:`repro.batch.executor`); results are identical to the
-        single-process run, keyed by batch position.
+        dynamic queues need no pre-check.  When the plan shards the batch
+        across worker processes (see :mod:`repro.batch.executor`) results
+        are identical to the single-process run, keyed by batch position.
         """
         return drain(self._stream_core(list(queries), ordered=True))
 
@@ -146,11 +225,11 @@ class BatchQueryEngine:
         raised while processing any shard propagates out of the iterator;
         positions flushed before the failure have already been delivered.
 
-        With ``num_workers > 1``, abandoning the iterator early (``break``
-        or ``close()``) cancels shards that have not started but blocks
-        until the shards already running in worker processes finish — the
-        pool is joined before the generator's cleanup returns, so no
-        orphaned workers outlive the stream.
+        When the plan resolves to multiple workers, abandoning the iterator
+        early (``break`` or ``close()``) cancels shards that have not
+        started but blocks until the shards already running in worker
+        processes finish — the pool is joined before the generator's
+        cleanup returns, so no orphaned workers outlive the stream.
         """
         yield from self._stream_core(list(queries), ordered=ordered)
 
@@ -161,26 +240,50 @@ class BatchQueryEngine:
         self, queries: List[HCSTQuery], ordered: bool
     ) -> ResultStream:
         """The shared fragment pipeline behind :meth:`run` and
-        :meth:`stream`: pick a fragment generator (sequential runner or
-        parallel executor) and push it through the flushing core."""
+        :meth:`stream`: plan, pick a fragment generator (sequential runner
+        or plan-driven parallel executor) and push it through the flushing
+        core."""
         from repro.batch.executor import flush_fragments, stream_parallel
 
         if not queries:
             return BatchResult(
                 queries=[], algorithm=DISPLAY_NAMES[self.algorithm]
             )
-        if self.num_workers > 1:
-            fragments = stream_parallel(
-                self.graph,
-                queries,
-                algorithm=self.algorithm,
-                gamma=self.gamma,
-                num_workers=self.num_workers,
-            )
-        else:
+        if self.num_workers == 1:
+            # Explicit sequential request: no planning, byte-identical to
+            # the pre-planner engine (the differential suites pin this).
             fragments = self._fragment_runner()(queries)
+        else:
+            plan = self._plan(queries)
+            if plan.num_workers <= 1:
+                fragments = self._sequential_fragments(queries, plan)
+            else:
+                fragments = stream_parallel(
+                    self.graph,
+                    queries,
+                    algorithm=self.algorithm,
+                    gamma=self.gamma,
+                    plan=plan,
+                )
         result = yield from flush_fragments(fragments, len(queries), ordered)
         return result
+
+    def _sequential_fragments(
+        self, queries: List[HCSTQuery], plan: ExecutionPlan
+    ) -> FragmentStream:
+        """Sequential execution that reuses the plan's prebuilt artefacts
+        (workload index, clusters) instead of recomputing them."""
+        if self.algorithm in ("batch", "batch+"):
+            return BatchEnum(
+                self.graph,
+                gamma=self.gamma,
+                optimize_search_order=self.algorithm.endswith("+"),
+            ).iter_run(queries, workload=plan.workload, clusters=plan.clusters)
+        if self.algorithm in ("basic", "basic+"):
+            return BasicEnum(
+                self.graph, optimize_search_order=self.algorithm.endswith("+")
+            ).iter_run(queries, workload=plan.workload)
+        return self._fragment_runner()(queries)
 
     def _fragment_runner(self) -> Callable[[Sequence[HCSTQuery]], FragmentStream]:
         """The sequential fragment generator of the configured algorithm."""
@@ -214,7 +317,7 @@ def batch_enumerate(
     queries: Sequence[HCSTQuery],
     algorithm: str = "batch+",
     gamma: float = 0.5,
-    num_workers: int = 1,
+    num_workers: NumWorkers = "auto",
 ) -> BatchResult:
     """Functional one-shot wrapper around :class:`BatchQueryEngine`."""
     engine = BatchQueryEngine(
@@ -228,7 +331,7 @@ def stream_enumerate(
     queries: Sequence[HCSTQuery],
     algorithm: str = "batch+",
     gamma: float = 0.5,
-    num_workers: int = 1,
+    num_workers: NumWorkers = "auto",
     ordered: bool = True,
 ) -> Iterator[Tuple[int, List[Path]]]:
     """Functional wrapper around :meth:`BatchQueryEngine.stream`.

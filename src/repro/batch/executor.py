@@ -1,35 +1,40 @@
-"""Sharded parallel batch execution across worker processes.
+"""Plan-driven sharded parallel batch execution across worker processes.
 
 Design
 ------
 ``BatchEnum`` processes a batch as *clusters* (Algorithm 2 groups queries
 that can share computation; sharing never crosses a cluster boundary), so a
 cluster is a clean shard: two clusters touch disjoint sharing graphs,
-disjoint result caches and disjoint output positions.  The parallel mode
-exploits exactly that boundary:
+disjoint result caches and disjoint output positions.  The per-query
+algorithms (``pathenum``, ``basic``, ``basic+``, ``dksp``, ``onepass``)
+have no cross-query state at all, so their shards are contiguous batch
+slices.
 
-1. The parent process runs the cheap global stages — workload validation,
-   the similarity matrix and ``ClusterQuery`` — single-threaded, exactly as
-   the sequential path does.
-2. Every cluster becomes one task submitted to a
-   :class:`concurrent.futures.ProcessPoolExecutor`.  The data graph is
-   shipped to each worker **once** via the pool initializer (not once per
-   task); a task carries only its cluster's ``{position: query}`` mapping.
-3. A worker builds a *per-cluster* distance index covering the cluster's
-   sources/targets and runs ``BatchEnum._process_cluster`` unchanged.  BFS
-   distances from a source are independent of which other sources are
-   indexed, and Lemma 3.1 admissibility can never accept a vertex whose
-   distance exceeds the cluster's own hop constraints, so the per-cluster
-   index yields bit-identical paths to the sequential global index.
-4. The parent merges fragments **by batch position** in cluster submission
-   order, so results, ``SharingStats`` and stage timings are deterministic
-   regardless of worker scheduling.  ``num_workers=1`` bypasses the pool
-   entirely and is byte-for-byte the sequential engine.
+Since the plan/execute split, the *decisions* — shard assignments, worker
+count, whether to ship the parent-built distance index — are made by
+:class:`~repro.batch.planner.QueryPlanner` and arrive here as an
+:class:`~repro.batch.planner.ExecutionPlan`.  The executor's job is purely
+mechanical:
 
-The per-query algorithms (``pathenum``, ``basic``, ``basic+``, ``dksp``,
-``onepass``) have no cross-query state at all; for them the batch is split
-into ``num_workers`` contiguous position ranges and each worker runs the
-sequential algorithm on its slice.
+1. The parent's cheap global stages (workload validation, the similarity
+   matrix, ``ClusterQuery``, BuildIndex) already ran during planning; their
+   timings live in the plan's stage timer.
+2. Every :class:`~repro.batch.planner.ShardPlan` becomes one task submitted
+   to a :class:`concurrent.futures.ProcessPoolExecutor`.  The data graph —
+   and, when the plan says so, the parent's serialized
+   :class:`~repro.bfs.distance_index.CSRDistanceIndex` — is shipped to each
+   worker **once** via the pool initializer (not once per task); a task
+   carries only its shard's positions/queries.
+3. A worker either deserializes the shipped flat-array index (no BFS at
+   all) or, under a rebuild plan, builds a shard-local index.  Either index
+   yields bit-identical paths: Lemma 3.1 pruning only consults the rows of
+   a query's own endpoints, and a row is the same whether its BFS was
+   truncated at the shard's or the batch's hop bound (entries beyond the
+   query's own ``k`` can never pass the admissibility check).
+4. The parent merges fragments **by batch position**, so results,
+   ``SharingStats`` and stage timings are deterministic regardless of
+   worker scheduling.  ``num_workers=1`` never reaches this module — the
+   engine runs the sequential fragment generators, byte-for-byte as before.
 
 Stage-timing semantics in parallel runs: the parent's ``Enumeration``
 stage is the **wall-clock** time of the whole fan-out (submit → last merge);
@@ -37,6 +42,8 @@ the workers' own ``Enumeration`` totals are discarded to avoid counting that
 span twice.  The remaining worker stages (``BuildIndex``,
 ``IdentifySubquery``) are accumulated across workers, so with N workers
 those entries reflect summed CPU effort and can exceed wall-clock time.
+Under a ship plan the workers' ``BuildIndex`` is near zero — that saving is
+exactly what ``BENCH_planner.json`` tracks.
 
 Streaming
 ---------
@@ -46,8 +53,8 @@ yields each shard's ``{position: paths}`` fragment the moment it lands, so
 the first finished cluster never waits on the slowest one.
 :func:`run_parallel` is simply ``drain(stream_parallel(...))``.  The
 engine's ``stream``/``run`` front-end pushes both the parallel and the
-sequential (``num_workers=1``) fragment generators through one
-:func:`flush_fragments` reorder buffer, with two flush policies:
+sequential fragment generators through one :func:`flush_fragments` reorder
+buffer, with two flush policies:
 
 * ``ordered=True`` — positions are released in batch order; position ``i``
   is withheld until every position ``< i`` has been released.
@@ -63,9 +70,10 @@ were already flushed have already reached the consumer and are not lost.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.batch.batch_enum import DEFAULT_MAX_DETECTION_DEPTH, BatchEnum
+from repro.batch.planner import CLUSTERED_ALGORITHMS
 from repro.batch.results import (
     BatchResult,
     FragmentStream,
@@ -73,7 +81,7 @@ from repro.batch.results import (
     SharingStats,
     drain,
 )
-from repro.bfs.distance_index import build_index
+from repro.bfs.distance_index import CSRDistanceIndex, build_index
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
@@ -81,12 +89,13 @@ from repro.queries.workload import QueryWorkload
 from repro.utils.timer import StageTimer
 from repro.utils.validation import require
 
-#: Algorithms whose batch work is sharded per cluster (sharing-aware).
-CLUSTERED_ALGORITHMS = ("batch", "batch+")
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.planner import ExecutionPlan
 
 #: Worker-process state installed by :func:`_init_worker`.
 _WORKER_GRAPH: Optional[DiGraph] = None
 _WORKER_CONFIG: Optional[dict] = None
+_WORKER_INDEX: Optional[CSRDistanceIndex] = None
 
 #: A result fragment sent back by a worker: paths keyed by original batch
 #: position, the shard's sharing stats, and its stage-time totals.
@@ -94,10 +103,21 @@ Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float]]
 
 
 def _init_worker(graph: DiGraph, config: dict) -> None:
-    """Pool initializer: stash the graph + algorithm config per process."""
-    global _WORKER_GRAPH, _WORKER_CONFIG
+    """Pool initializer: stash the graph, config and (optionally) the
+    parent's shipped distance index per process.
+
+    The index travels as the compact ``to_bytes`` payload and is
+    deserialized exactly once per worker — every cluster/slice task the
+    worker subsequently runs reads the same flat arrays instead of
+    re-running multi-source BFS.
+    """
+    global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_INDEX
     _WORKER_GRAPH = graph
     _WORKER_CONFIG = config
+    index_bytes = config.get("index_bytes")
+    _WORKER_INDEX = (
+        CSRDistanceIndex.from_bytes(index_bytes) if index_bytes else None
+    )
 
 
 def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
@@ -111,13 +131,16 @@ def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
         max_detection_depth=config["max_detection_depth"],
     )
     stage_timer = StageTimer()
-    with stage_timer.stage("BuildIndex"):
-        index = build_index(
-            graph,
-            sorted({query.s for query in queries_by_position.values()}),
-            sorted({query.t for query in queries_by_position.values()}),
-            max(query.k for query in queries_by_position.values()),
-        )
+    index = _WORKER_INDEX
+    if index is None:
+        # Rebuild plan: shard-local BFS over this cluster's endpoints.
+        with stage_timer.stage("BuildIndex"):
+            index = build_index(
+                graph,
+                sorted({query.s for query in queries_by_position.values()}),
+                sorted({query.t for query in queries_by_position.values()}),
+                max(query.k for query in queries_by_position.values()),
+            )
     sharing = SharingStats(num_clusters=1)
     scratch = BatchResult(queries=[])
     enumerator._process_cluster(
@@ -131,14 +154,27 @@ def _run_slice_task(
 ) -> Fragment:
     """Process one contiguous query slice inside a worker (per-query
     algorithms: the sequential runner is reused verbatim)."""
+    from repro.batch.basic_enum import BasicEnum
     from repro.batch.engine import BatchQueryEngine
 
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
     assert graph is not None and config is not None, "worker not initialised"
-    engine = BatchQueryEngine(
-        graph, algorithm=config["algorithm"], gamma=config["gamma"]
-    )
-    sub_result = engine.run(queries)
+    algorithm = config["algorithm"]
+    index = _WORKER_INDEX
+    if index is not None and algorithm in ("basic", "basic+"):
+        # Shipped-index plan: run BasicEnum directly on the parent's global
+        # index (a covering superset of the slice's own — prunes
+        # identically) instead of re-running BFS for the slice.
+        enumerator = BasicEnum(
+            graph, optimize_search_order=algorithm.endswith("+")
+        )
+        workload = QueryWorkload(graph, list(queries), index=index)
+        sub_result = drain(enumerator.iter_run(queries, workload=workload))
+    else:
+        engine = BatchQueryEngine(
+            graph, algorithm=algorithm, gamma=config["gamma"], num_workers=1
+        )
+        sub_result = engine.run(queries)
     paths_by_position = {
         position: sub_result.paths_by_position.get(local, [])
         for local, position in enumerate(positions)
@@ -177,24 +213,39 @@ def stream_parallel(
     queries: Sequence[HCSTQuery],
     algorithm: str,
     gamma: float,
-    num_workers: int,
+    num_workers: Optional[int] = None,
     max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+    plan: "ExecutionPlan | None" = None,
 ) -> FragmentStream:
     """Fragment generator over shard completions (``num_workers >= 2``).
 
-    Shards (clusters for ``batch``/``batch+``, contiguous query slices for
-    the per-query algorithms) are submitted to a process pool and drained
-    with ``as_completed``: every shard's ``{position: paths}`` fragment is
-    recorded into the :class:`BatchResult` and yielded the moment its
-    future lands.  If a shard raises, the exception propagates out of the
-    generator after the pending futures are cancelled and the pool is shut
-    down — the drain loop never hangs on a poisoned shard.
+    Execution follows an :class:`~repro.batch.planner.ExecutionPlan`: the
+    engine passes the plan it already built; direct callers may instead
+    pass ``num_workers`` and a plan is derived here.  Shards are submitted
+    to a process pool and drained with ``as_completed``: every shard's
+    ``{position: paths}`` fragment is recorded into the
+    :class:`BatchResult` and yielded the moment its future lands.  If a
+    shard raises, the exception propagates out of the generator after the
+    pending futures are cancelled and the pool is shut down — the drain
+    loop never hangs on a poisoned shard.
     """
-    require(num_workers >= 2, "stream_parallel requires num_workers >= 2")
-    from repro.batch.clustering import cluster_queries
+    if plan is None:
+        from repro.batch.planner import QueryPlanner
+
+        require(
+            num_workers is not None and num_workers >= 2,
+            "stream_parallel requires num_workers >= 2 (or an explicit plan)",
+        )
+        plan = QueryPlanner(graph, algorithm=algorithm, gamma=gamma).plan(
+            queries, num_workers=num_workers
+        )
+    require(
+        plan.num_workers >= 2,
+        "stream_parallel requires a plan resolved to num_workers >= 2",
+    )
     from repro.batch.engine import DISPLAY_NAMES
 
-    stage_timer = StageTimer()
+    stage_timer = plan.stage_timer or StageTimer()
     result = BatchResult(
         queries=list(queries),
         stage_timer=stage_timer,
@@ -203,20 +254,15 @@ def stream_parallel(
     sharing = SharingStats()
 
     if algorithm in CLUSTERED_ALGORITHMS:
-        workload = QueryWorkload(graph, queries, stage_timer=stage_timer)
-        workload.index  # BuildIndex (needed by the similarity matrix anyway)
-        with stage_timer.stage("ClusterQuery"):
-            clusters = cluster_queries(workload, gamma)
         tasks = [
-            {position: workload.queries[position] for position in cluster}
-            for cluster in clusters
+            {position: queries[position] for position in shard.positions}
+            for shard in plan.shards
         ]
         worker_fn, make_args = _run_cluster_task, lambda task: (task,)
     else:
-        positions = list(range(len(queries)))
-        slices = _contiguous_slices(positions, num_workers)
         tasks = [
-            (chunk, [queries[position] for position in chunk]) for chunk in slices
+            (shard.positions, [queries[position] for position in shard.positions])
+            for shard in plan.shards
         ]
         worker_fn, make_args = _run_slice_task, lambda task: task
 
@@ -225,10 +271,11 @@ def stream_parallel(
         "gamma": gamma,
         "optimize_search_order": algorithm.endswith("+"),
         "max_detection_depth": max_detection_depth,
+        "index_bytes": plan.index_bytes if plan.ship_index else None,
     }
     with stage_timer.stage("Enumeration"):
         pool = ProcessPoolExecutor(
-            max_workers=num_workers,
+            max_workers=plan.num_workers,
             initializer=_init_worker,
             initargs=(graph, config),
         )
@@ -315,21 +362,3 @@ def flush_fragments(
         f"{len(reorder_buffer)} stranded in the reorder buffer)",
     )
     return result
-
-
-def _contiguous_slices(positions: List[int], num_workers: int) -> List[List[int]]:
-    """Split ``positions`` into at most ``num_workers`` contiguous,
-    near-equal slices (empty slices are dropped)."""
-    count = len(positions)
-    shard_count = min(num_workers, count)
-    if shard_count == 0:
-        return []
-    base, extra = divmod(count, shard_count)
-    slices: List[List[int]] = []
-    start = 0
-    for shard in range(shard_count):
-        size = base + (1 if shard < extra else 0)
-        if size:
-            slices.append(positions[start:start + size])
-        start += size
-    return slices

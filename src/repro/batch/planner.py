@@ -1,0 +1,611 @@
+"""Plan/execute split: the cost-model query planner.
+
+The engine used to make its scheduling decisions implicitly and locally —
+the caller guessed ``num_workers``, every worker re-ran BFS to rebuild its
+shard's distance index, and the shard boundaries were derived ad hoc inside
+the executor.  This module makes those decisions explicit: a
+:class:`QueryPlanner` inspects the workload and the graph snapshot, runs the
+cheap global stages once (BuildIndex, ClusterQuery), and emits an
+:class:`ExecutionPlan` that the executor consumes verbatim:
+
+* **shard assignments** — one shard per cluster for the sharing-aware
+  algorithms (``batch``/``batch+``), contiguous batch slices for the
+  per-query algorithms, each with an estimated enumeration cost;
+* **worker count** — ``num_workers="auto"`` resolves against a
+  :class:`CostModel` calibrated from ``BENCH_workers.json``: sharding is
+  only chosen when the estimated enumeration makespan saving clears the
+  measured process-pool spawn overhead by a safety margin;
+* **index ship-vs-rebuild** — whether the parent's array-backed
+  :class:`~repro.bfs.distance_index.CSRDistanceIndex` should be serialized
+  once into the pool initializer (workers deserialize flat arrays) or each
+  worker should re-run its own shard-local BFS (cheaper only when the dense
+  payload dwarfs the reachable entry count).
+
+``BatchQueryEngine.explain(queries)`` returns the plan without executing
+it; ``run``/``stream`` build the same plan and hand its prebuilt artefacts
+(workload, clusters, serialized index) to whichever path executes, so
+planning work is never repeated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.batch.clustering import cluster_queries
+from repro.bfs.distance_index import CSRDistanceIndex
+from repro.enumeration.search_order import estimate_side_cost
+from repro.graph.digraph import DiGraph
+from repro.queries.query import HCSTQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.timer import StageTimer
+from repro.utils.validation import require
+
+#: Algorithms whose batch work is sharded per cluster (sharing-aware).
+#: The executor imports this from here so planner and executor cannot drift.
+CLUSTERED_ALGORITHMS = ("batch", "batch+")
+
+#: Algorithms that read the shared multi-source BFS index and can therefore
+#: receive a shipped parent-built index instead of rebuilding one.
+INDEXED_ALGORITHMS = ("basic", "basic+", "batch", "batch+")
+
+#: Relative cost multipliers for the per-query algorithms, applied on top of
+#: the per-query structural estimate.  They only influence the worker-count
+#: decision (absolute accuracy does not matter, ordering does): ``dksp``
+#: re-runs a constrained shortest-path search per deviation prefix,
+#: ``onepass`` a pruned DFS per query, ``pathenum`` builds a per-query
+#: index before enumerating.
+ALGORITHM_COST_FACTORS: Dict[str, float] = {
+    "pathenum": 2.0,
+    "basic": 1.0,
+    "basic+": 1.0,
+    "batch": 1.0,
+    "batch+": 1.0,
+    "dksp": 40.0,
+    "onepass": 15.0,
+}
+
+NumWorkers = Union[int, str]
+
+
+def validate_num_workers(value: NumWorkers) -> NumWorkers:
+    """Eagerly validate a ``num_workers`` setting.
+
+    Accepts a positive integer or the string ``"auto"``; anything else
+    (zero, negatives, bools, floats, other strings) raises ``ValueError``
+    immediately so misconfiguration surfaces at construction/planning time,
+    not deep inside the executor mid-batch.
+    """
+    if isinstance(value, str):
+        require(
+            value == "auto",
+            f"num_workers must be a positive integer or 'auto', got {value!r}",
+        )
+        return value
+    require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"num_workers must be a positive integer or 'auto', got {value!r}",
+    )
+    require(value >= 1, f"num_workers must be >= 1, got {value}")
+    return value
+
+
+def _lpt_makespan(costs: List[float], num_workers: int) -> float:
+    """Cost units of the busiest bin under an LPT greedy assignment
+    (sort descending, always feed the least-loaded worker) — the single
+    shared model for both the worker-count decision and the reported
+    parallel-seconds estimate."""
+    if not costs:
+        return 0.0
+    if num_workers <= 1:
+        return sum(costs)
+    bins = [0.0] * num_workers
+    for cost in sorted(costs, reverse=True):
+        bins[bins.index(min(bins))] += cost
+    return max(bins)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibration constants translating plan statistics into seconds.
+
+    The defaults are fitted to the repository's ``BENCH_workers.json``
+    (pure-Python substrate, fork-server process pool); use
+    :meth:`from_benchmark` to re-derive them from a refreshed artifact.
+
+    Attributes
+    ----------
+    spawn_overhead_base:
+        Fixed cost of standing up the process pool at all (pool creation,
+        initializer pickling of the graph).
+    spawn_overhead_per_worker:
+        Additional cost per worker process.
+    seconds_per_cost_unit:
+        Wall seconds per estimated enumeration cost unit
+        (:func:`estimate_query_cost`).
+    seconds_per_index_entry:
+        Per reachable (vertex, distance) entry cost of re-running the
+        multi-source BFS inside a worker.
+    seconds_per_shipped_byte:
+        Per-byte cost of serializing + piping + deserializing the
+        array-backed index into a worker.
+    parallel_benefit_margin:
+        ``auto`` only shards when the predicted parallel wall time is below
+        this fraction of the predicted sequential wall time — a hedge
+        against estimation error, biased toward the (always correct)
+        sequential plan.
+    """
+
+    spawn_overhead_base: float = 0.04
+    spawn_overhead_per_worker: float = 0.03
+    seconds_per_cost_unit: float = 5e-6
+    seconds_per_index_entry: float = 4e-7
+    seconds_per_shipped_byte: float = 2e-9
+    parallel_benefit_margin: float = 0.75
+
+    def spawn_seconds(self, num_workers: int) -> float:
+        """Estimated pool spawn overhead for ``num_workers`` processes."""
+        if num_workers <= 1:
+            return 0.0
+        return (
+            self.spawn_overhead_base
+            + self.spawn_overhead_per_worker * num_workers
+        )
+
+    @classmethod
+    def from_benchmark(
+        cls, path: Union[str, Path], **overrides: float
+    ) -> "CostModel":
+        """Calibrate spawn overhead (and, when the records carry
+        ``estimated_cost_units``, the seconds-per-cost-unit rate) from a
+        ``BENCH_workers.json`` artifact.
+
+        For every (dataset, fraction, algorithm) group the extra wall time
+        of each multi-worker run over the single-worker run is attributed
+        to pool spawn; a least-squares line through those
+        ``(num_workers, extra_seconds)`` points yields the base and
+        per-worker constants.  Groups without a ``num_workers=1`` record
+        are skipped.  Missing or malformed files fall back to the defaults
+        (planning must never fail because a benchmark artifact is absent).
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+            records = payload["records"]
+            groups: Dict[Tuple, Dict[int, dict]] = {}
+            for record in records:
+                key = (
+                    record.get("dataset"),
+                    record.get("fraction"),
+                    record.get("algorithm"),
+                )
+                groups.setdefault(key, {})[record["num_workers"]] = record
+
+            points: List[Tuple[int, float]] = []
+            unit_rates: List[float] = []
+            for by_workers in groups.values():
+                base_record = by_workers.get(1)
+                if base_record is None:
+                    continue
+                cost_units = base_record.get("estimated_cost_units", 0.0)
+                if cost_units:
+                    unit_rates.append(base_record["wall_seconds"] / cost_units)
+                for workers, record in by_workers.items():
+                    if workers > 1:
+                        extra = (
+                            record["wall_seconds"] - base_record["wall_seconds"]
+                        )
+                        points.append((workers, max(0.0, extra)))
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return cls(**overrides)
+
+        fields: Dict[str, float] = {}
+        if len(points) >= 2:
+            n = len(points)
+            mean_w = sum(w for w, _ in points) / n
+            mean_e = sum(e for _, e in points) / n
+            var_w = sum((w - mean_w) ** 2 for w, _ in points)
+            if var_w > 0:
+                slope = (
+                    sum((w - mean_w) * (e - mean_e) for w, e in points) / var_w
+                )
+                slope = max(0.0, slope)
+                fields["spawn_overhead_per_worker"] = slope
+                fields["spawn_overhead_base"] = max(0.0, mean_e - slope * mean_w)
+        if unit_rates:
+            fields["seconds_per_cost_unit"] = sum(unit_rates) / len(unit_rates)
+        fields.update(overrides)
+        return cls(**fields)
+
+
+@dataclass
+class ShardPlan:
+    """One executable unit: a cluster or a contiguous batch slice."""
+
+    kind: str  # "cluster" | "slice"
+    positions: List[int]
+    estimated_cost: float  # enumeration cost units
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("cluster", "slice"), f"unknown shard kind {self.kind!r}")
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything the executor needs to run a batch, decided up front.
+
+    The serialized index payload and the prebuilt workload/clusters are
+    runtime handles (excluded from ``repr``); the remaining fields are the
+    inspectable planning outcome that :meth:`describe` renders and the
+    tests assert on.
+    """
+
+    algorithm: str
+    gamma: float
+    requested_workers: NumWorkers
+    num_workers: int
+    shards: List[ShardPlan]
+    ship_index: bool
+    index_payload_bytes: int
+    estimated_sequential_seconds: float
+    estimated_parallel_seconds: float
+    estimated_spawn_seconds: float
+    estimated_index_ship_seconds: float
+    estimated_index_rebuild_seconds: float
+    workload: Optional[QueryWorkload] = field(default=None, repr=False)
+    clusters: Optional[List[List[int]]] = field(default=None, repr=False)
+    index_bytes: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_estimated_cost(self) -> float:
+        return sum(shard.estimated_cost for shard in self.shards)
+
+    @property
+    def stage_timer(self) -> Optional[StageTimer]:
+        """Timer that recorded the planning stages (BuildIndex etc.)."""
+        return self.workload.stage_timer if self.workload is not None else None
+
+    def describe(self) -> str:
+        """Human-readable rendering (what ``engine.explain`` prints)."""
+        lines = [
+            f"ExecutionPlan[{self.algorithm}]",
+            f"  workers:      {self.num_workers} "
+            f"(requested {self.requested_workers!r})",
+            f"  shards:       {self.num_shards} "
+            f"({', '.join(sorted({s.kind for s in self.shards})) or 'none'})",
+            f"  index:        "
+            + (
+                f"ship {self.index_payload_bytes} bytes to pool initializer"
+                if self.ship_index
+                else (
+                    "shared in-process (sequential)"
+                    if self.num_workers <= 1
+                    else "rebuild per worker"
+                )
+            ),
+            f"  est seq:      {self.estimated_sequential_seconds:.4f}s",
+            f"  est parallel: {self.estimated_parallel_seconds:.4f}s "
+            f"(spawn {self.estimated_spawn_seconds:.4f}s)",
+            f"  est index:    ship {self.estimated_index_ship_seconds:.4f}s"
+            f" vs rebuild {self.estimated_index_rebuild_seconds:.4f}s",
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"    {shard.kind:<7} positions={shard.positions} "
+                f"cost={shard.estimated_cost:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def estimate_query_cost(
+    query: HCSTQuery,
+    index: Optional[CSRDistanceIndex],
+    graph: DiGraph,
+    algorithm: str,
+    side_cost_cache: Optional[Dict[Tuple, float]] = None,
+) -> float:
+    """Estimated enumeration cost units of one query.
+
+    With an index available the estimate reuses the search-order
+    optimiser's per-level frontier model (partial-path counts from the BFS
+    level sizes) — the same statistic the "+" variants already trust to
+    order their searches.  Without one (per-query baselines where building
+    a global index just to plan would cost more than it saves) the estimate
+    falls back to an average-branching model capped by the graph size.
+
+    ``side_cost_cache`` memoises the per-(endpoint, budget) side costs —
+    computing one requires a full distance-row scan, and real batches
+    repeat endpoints heavily, so the planner shares one cache across the
+    whole workload.
+    """
+    forward_budget = query.forward_budget
+    backward_budget = query.backward_budget
+    if index is not None and index.has_source(query.s) and index.has_target(query.t):
+        cache = side_cost_cache if side_cost_cache is not None else {}
+        forward_key = ("f", query.s, forward_budget)
+        forward_cost = cache.get(forward_key)
+        if forward_cost is None:
+            forward_cost = estimate_side_cost(
+                index.forward_level_sizes(query.s, forward_budget)
+            )
+            cache[forward_key] = forward_cost
+        backward_key = ("b", query.t, backward_budget)
+        backward_cost = cache.get(backward_key)
+        if backward_cost is None:
+            backward_cost = estimate_side_cost(
+                index.backward_level_sizes(query.t, backward_budget)
+            )
+            cache[backward_key] = backward_cost
+        structural = forward_cost + backward_cost + 1.0
+    else:
+        branching = max(1.0, graph.num_edges / max(1, graph.num_vertices))
+        cap = float(graph.num_edges * max(1, query.k))
+        structural = min(
+            branching ** min(forward_budget, 8)
+            + branching ** min(backward_budget, 8),
+            cap,
+        )
+    return structural * ALGORITHM_COST_FACTORS.get(algorithm, 1.0)
+
+
+class QueryPlanner:
+    """Builds :class:`ExecutionPlan` objects for a graph + algorithm pair.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (its CSR snapshot anchors the index vertex range).
+    algorithm:
+        Engine algorithm name (see ``repro.batch.engine.ALGORITHMS``).
+    gamma:
+        Clustering threshold for the sharing-aware algorithms.
+    cost_model:
+        Calibration constants; defaults to :class:`CostModel` fitted to the
+        repository benchmark data.
+    max_workers:
+        Upper bound for ``num_workers="auto"`` (defaults to
+        ``os.cpu_count()``); explicit integer worker requests are honoured
+        beyond it.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        algorithm: str = "batch+",
+        gamma: float = 0.5,
+        cost_model: Optional[CostModel] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.gamma = gamma
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def plan(
+        self, queries: Sequence[HCSTQuery], num_workers: NumWorkers = "auto"
+    ) -> ExecutionPlan:
+        """Emit the execution plan for ``queries``.
+
+        ``num_workers`` is either a positive integer (honoured as given) or
+        ``"auto"`` (resolved by the cost model).  An empty batch plans to a
+        trivial sequential no-op.
+        """
+        num_workers = validate_num_workers(num_workers)
+        queries = list(queries)
+        model = self.cost_model
+        if not queries:
+            return ExecutionPlan(
+                algorithm=self.algorithm,
+                gamma=self.gamma,
+                requested_workers=num_workers,
+                num_workers=1,
+                shards=[],
+                ship_index=False,
+                index_payload_bytes=0,
+                estimated_sequential_seconds=0.0,
+                estimated_parallel_seconds=0.0,
+                estimated_spawn_seconds=0.0,
+                estimated_index_ship_seconds=0.0,
+                estimated_index_rebuild_seconds=0.0,
+            )
+
+        clustered = self.algorithm in CLUSTERED_ALGORITHMS
+        indexed = self.algorithm in INDEXED_ALGORITHMS
+
+        workload: Optional[QueryWorkload] = None
+        clusters: Optional[List[List[int]]] = None
+        index: Optional[CSRDistanceIndex] = None
+        if indexed:
+            workload = QueryWorkload(self.graph, queries, stage_timer=StageTimer())
+            index = workload.index
+        if clustered:
+            assert workload is not None
+            with workload.stage_timer.stage("ClusterQuery"):
+                clusters = cluster_queries(workload, self.gamma)
+
+        side_cost_cache: Dict[Tuple, float] = {}
+        query_costs = [
+            estimate_query_cost(
+                query, index, self.graph, self.algorithm, side_cost_cache
+            )
+            for query in queries
+        ]
+
+        # Index economics: ship the parent-built flat arrays once per
+        # worker, or let each worker re-run BFS over its shard?
+        index_bytes: Optional[bytes] = None
+        payload_size = 0
+        ship_seconds = 0.0
+        rebuild_seconds = 0.0
+        ship_index = False
+        if index is not None:
+            payload_size = index.nbytes
+            ship_seconds = payload_size * model.seconds_per_shipped_byte
+            rebuild_seconds = (
+                index.size_in_entries * model.seconds_per_index_entry
+            )
+            ship_index = ship_seconds < rebuild_seconds
+
+        resolved = self._resolve_workers(
+            num_workers, query_costs, clusters, ship_seconds, rebuild_seconds
+        )
+        shards = self._build_shards(query_costs, clusters, resolved)
+        if ship_index and resolved > 1 and index is not None:
+            index_bytes = index.to_bytes()
+            payload_size = len(index_bytes)
+
+        total_cost = sum(query_costs)
+        per_worker_index = ship_seconds if ship_index else rebuild_seconds
+        return ExecutionPlan(
+            algorithm=self.algorithm,
+            gamma=self.gamma,
+            requested_workers=num_workers,
+            num_workers=resolved,
+            shards=shards,
+            ship_index=ship_index and resolved > 1,
+            index_payload_bytes=payload_size,
+            estimated_sequential_seconds=total_cost * model.seconds_per_cost_unit,
+            estimated_parallel_seconds=self._parallel_seconds(
+                resolved, shards, per_worker_index
+            ),
+            estimated_spawn_seconds=model.spawn_seconds(resolved),
+            estimated_index_ship_seconds=ship_seconds,
+            estimated_index_rebuild_seconds=rebuild_seconds,
+            workload=workload,
+            clusters=clusters,
+            index_bytes=index_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_shards(
+        self,
+        query_costs: List[float],
+        clusters: Optional[List[List[int]]],
+        num_workers: int,
+    ) -> List[ShardPlan]:
+        if clusters is not None:
+            return [
+                ShardPlan(
+                    kind="cluster",
+                    positions=sorted(cluster),
+                    estimated_cost=sum(query_costs[p] for p in cluster),
+                )
+                for cluster in clusters
+            ]
+        slices = _contiguous_slices(list(range(len(query_costs))), num_workers)
+        return [
+            ShardPlan(
+                kind="slice",
+                positions=chunk,
+                estimated_cost=sum(query_costs[p] for p in chunk),
+            )
+            for chunk in slices
+        ]
+
+    def _makespan(
+        self,
+        query_costs: List[float],
+        clusters: Optional[List[List[int]]],
+        num_workers: int,
+    ) -> float:
+        """Estimated cost units of the busiest worker under ``num_workers``.
+
+        Clusters land on workers in ``as_completed`` order, modelled as an
+        LPT greedy assignment; per-query algorithms are split into the same
+        contiguous slices the executor will actually run.
+        """
+        if clusters is not None:
+            costs = [
+                sum(query_costs[p] for p in cluster) for cluster in clusters
+            ]
+            return _lpt_makespan(costs, num_workers)
+        slices = _contiguous_slices(list(range(len(query_costs))), num_workers)
+        if not slices:
+            return 0.0
+        return max(sum(query_costs[p] for p in chunk) for chunk in slices)
+
+    def _parallel_seconds(
+        self,
+        num_workers: int,
+        shards: List[ShardPlan],
+        per_worker_index_seconds: float,
+    ) -> float:
+        model = self.cost_model
+        costs = [shard.estimated_cost for shard in shards]
+        if num_workers <= 1 or not shards:
+            return sum(costs) * model.seconds_per_cost_unit
+        return (
+            model.spawn_seconds(num_workers)
+            + per_worker_index_seconds
+            + _lpt_makespan(costs, num_workers) * model.seconds_per_cost_unit
+        )
+
+    def _resolve_workers(
+        self,
+        requested: NumWorkers,
+        query_costs: List[float],
+        clusters: Optional[List[List[int]]],
+        ship_seconds: float,
+        rebuild_seconds: float,
+    ) -> int:
+        if requested != "auto":
+            return int(requested)
+        model = self.cost_model
+        sequential_seconds = sum(query_costs) * model.seconds_per_cost_unit
+        max_useful = len(clusters) if clusters is not None else len(query_costs)
+        limit = min(self.max_workers, max_useful)
+        per_worker_index = min(ship_seconds, rebuild_seconds)
+
+        best_workers = 1
+        best_seconds = sequential_seconds
+        for candidate in range(2, limit + 1):
+            estimate = (
+                model.spawn_seconds(candidate)
+                + per_worker_index
+                + self._makespan(query_costs, clusters, candidate)
+                * model.seconds_per_cost_unit
+            )
+            if estimate < best_seconds:
+                best_seconds = estimate
+                best_workers = candidate
+        if (
+            best_workers > 1
+            and best_seconds > sequential_seconds * model.parallel_benefit_margin
+        ):
+            # Predicted win is within the margin of estimation error: play
+            # it safe, the sequential plan can never be a regression.
+            return 1
+        return best_workers
+
+
+def _contiguous_slices(positions: List[int], num_workers: int) -> List[List[int]]:
+    """Split ``positions`` into at most ``num_workers`` contiguous,
+    near-equal slices (empty slices are dropped)."""
+    count = len(positions)
+    shard_count = min(num_workers, count)
+    if shard_count == 0:
+        return []
+    base, extra = divmod(count, shard_count)
+    slices: List[List[int]] = []
+    start = 0
+    for shard in range(shard_count):
+        size = base + (1 if shard < extra else 0)
+        if size:
+            slices.append(positions[start:start + size])
+        start += size
+    return slices

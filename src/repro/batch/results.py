@@ -12,7 +12,7 @@ forwards the fragments through a reorder buffer as they arrive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Sequence, Tuple
 
 from repro.enumeration.paths import Path, sort_paths
 from repro.queries.query import HCSTQuery

@@ -16,7 +16,7 @@ nevertheless exposes :meth:`would_create_cycle` as a guard because a cyclic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
+from typing import Dict, Iterator, List, Set, Union
 
 from repro.queries.query import Direction, HCsPathQuery
 from repro.utils.validation import require

@@ -2,12 +2,21 @@
 
 from repro.bfs.single_source import bfs_distances, bfs_levels
 from repro.bfs.multi_source import multi_source_bfs
-from repro.bfs.distance_index import DistanceIndex, build_index
+from repro.bfs.distance_index import (
+    CSRDistanceIndex,
+    DistanceIndex,
+    UNREACHABLE,
+    build_dict_index,
+    build_index,
+)
 
 __all__ = [
     "bfs_distances",
     "bfs_levels",
     "multi_source_bfs",
+    "CSRDistanceIndex",
     "DistanceIndex",
+    "UNREACHABLE",
+    "build_dict_index",
     "build_index",
 ]

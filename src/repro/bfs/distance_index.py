@@ -9,13 +9,37 @@ the paper justifies pruning any vertex ``v`` from an enumeration whenever
 
 The index is exactly the structure built in lines 1-2 of Algorithm 1 and
 Algorithm 4 with multi-source BFS.
+
+Two representations live here:
+
+* :class:`CSRDistanceIndex` — the production structure: one flat
+  ``array('l')`` row per indexed endpoint, keyed by CSR vertex id, with a
+  large finite sentinel (:data:`UNREACHABLE`) for vertices the BFS never
+  reached.  Rows support O(1) direct indexing in the enumeration hot loops
+  and the whole index serialises to a compact ``bytes`` blob
+  (:meth:`CSRDistanceIndex.to_bytes`) so the parallel executor can ship a
+  parent-built index to worker processes once, through the pool
+  initializer, instead of re-running BFS per worker.  Lookups with a vertex
+  id outside the snapshot's range raise (mirroring the CSR packing assert)
+  rather than silently reporting "unreachable".
+* :class:`DistanceIndex` — the original dict-of-dicts structure, retained
+  as the reference implementation for the differential test suite and for
+  callers that build tiny throwaway indexes.
+
+Both expose the same query API (``dist_from``/``dist_to``, neighbourhoods,
+level sizes) and the same mapping attributes (``from_source``/``to_target``
+— real dicts on the legacy class, zero-copy views over the flat arrays on
+the CSR class), so every Lemma 3.1 pruning call sites works with either.
 """
 
 from __future__ import annotations
 
 import math
+import struct
+from array import array
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.bfs.multi_source import multi_source_bfs
 from repro.graph.digraph import DiGraph
@@ -23,10 +47,352 @@ from repro.utils.validation import require, require_positive
 
 INFINITY = math.inf
 
+#: Typecode of the distance rows — the same signed-long typecode the CSR
+#: adjacency arrays use, so one platform-word convention covers the whole
+#: shipped payload.
+TYPECODE = "l"
+
+#: In-row sentinel for "the BFS never reached this vertex".  A large finite
+#: int (not -1) so the hot loops can compute ``used + 1 + row[v] > k``
+#: without a branch: any arithmetic involving the sentinel is astronomically
+#: larger than a hop budget.  Fits a 32-bit signed long, the narrowest
+#: platform ``'l'``.
+UNREACHABLE = 2**31 - 1
+
+_HEADER = struct.Struct("<8sqqqqqq")
+_MAGIC = b"CSRDIDX1"
+
+
+class _DistanceRow(MappingABC):
+    """Read-only mapping view over one flat distance row.
+
+    Behaves like the legacy per-endpoint dict: iteration, ``len`` and
+    ``items()`` cover only *reachable* vertices, ``get`` returns the default
+    for in-range unreachable vertices, and — unlike a dict — any vertex id
+    outside the CSR snapshot's range raises ``ValueError`` instead of being
+    conflated with "unreachable".
+    """
+
+    __slots__ = ("_row", "_reachable")
+
+    def __init__(self, row: array) -> None:
+        self._row = row
+        self._reachable: int | None = None  # lazy count
+
+    def _check(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._row):
+            raise ValueError(
+                f"vertex id {vertex} is outside the indexed snapshot's "
+                f"range [0, {len(self._row)})"
+            )
+
+    def __getitem__(self, vertex: int) -> int:
+        self._check(vertex)
+        distance = self._row[vertex]
+        if distance == UNREACHABLE:
+            raise KeyError(vertex)
+        return distance
+
+    def get(self, vertex: int, default=None):
+        self._check(vertex)
+        distance = self._row[vertex]
+        return default if distance == UNREACHABLE else distance
+
+    def __contains__(self, vertex: object) -> bool:
+        if not isinstance(vertex, int) or not 0 <= vertex < len(self._row):
+            return False
+        return self._row[vertex] != UNREACHABLE
+
+    def __iter__(self) -> Iterator[int]:
+        for vertex, distance in enumerate(self._row):
+            if distance != UNREACHABLE:
+                yield vertex
+
+    def items(self):
+        return [
+            (vertex, distance)
+            for vertex, distance in enumerate(self._row)
+            if distance != UNREACHABLE
+        ]
+
+    def values(self):
+        return [d for d in self._row if d != UNREACHABLE]
+
+    def __len__(self) -> int:
+        if self._reachable is None:
+            # array.count runs at C speed — no Python-level row scan.
+            self._reachable = len(self._row) - self._row.count(UNREACHABLE)
+        return self._reachable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_DistanceRow(|V|={len(self._row)}, reachable={len(self)})"
+
+
+class _DirectionView(MappingABC):
+    """Dict-like ``{endpoint: distance row}`` view of one index direction."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Dict[int, array]) -> None:
+        self._rows = rows
+
+    def __getitem__(self, endpoint: int) -> _DistanceRow:
+        return _DistanceRow(self._rows[endpoint])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, endpoint: object) -> bool:
+        return endpoint in self._rows
+
+
+class CSRDistanceIndex:
+    """Array-backed distance index keyed by CSR vertex ids.
+
+    Each indexed endpoint owns one flat ``array('l')`` of length
+    ``num_vertices`` holding hop distances (:data:`UNREACHABLE` where the
+    truncated BFS never arrived).  ``from_source``/``to_target`` present the
+    legacy mapping API as thin views; the enumeration hot loops bypass the
+    views entirely via :meth:`dense_from`/:meth:`dense_to` and index the raw
+    arrays directly.
+    """
+
+    __slots__ = ("num_vertices", "max_hops", "_from_rows", "_to_rows")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        max_hops: int,
+        from_rows: Dict[int, array],
+        to_rows: Dict[int, array],
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.max_hops = max_hops
+        self._from_rows = from_rows
+        self._to_rows = to_rows
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_distance_maps(
+        cls,
+        num_vertices: int,
+        max_hops: int,
+        from_source: Dict[int, Dict[int, int]],
+        to_target: Dict[int, Dict[int, int]],
+    ) -> "CSRDistanceIndex":
+        """Pack sparse BFS result dicts into dense rows."""
+
+        def pack(maps: Dict[int, Dict[int, int]]) -> Dict[int, array]:
+            rows: Dict[int, array] = {}
+            template = array(TYPECODE, [UNREACHABLE]) * num_vertices
+            for endpoint, distances in maps.items():
+                row = array(TYPECODE, template)
+                for vertex, distance in distances.items():
+                    row[vertex] = distance
+                rows[endpoint] = row
+            return rows
+
+        return cls(num_vertices, max_hops, pack(from_source), pack(to_target))
+
+    # ------------------------------------------------------------------ #
+    # Mapping-compatible attribute API
+    # ------------------------------------------------------------------ #
+    @property
+    def from_source(self) -> _DirectionView:
+        """``{s: {v: dist_G(s, v)}}`` view (reachable entries only)."""
+        return _DirectionView(self._from_rows)
+
+    @property
+    def to_target(self) -> _DirectionView:
+        """``{t: {v: dist_G(v, t)}}`` view (reachable entries only)."""
+        return _DirectionView(self._to_rows)
+
+    # ------------------------------------------------------------------ #
+    # Dense rows (hot-loop API)
+    # ------------------------------------------------------------------ #
+    def dense_from(self, source: int) -> array:
+        """The raw distance row of ``source`` (:data:`UNREACHABLE` holes).
+
+        Callers index it directly — ``row[v]`` — which is the fast path the
+        enumeration loops use; they must not mutate it.
+        """
+        row = self._from_rows.get(source)
+        if row is None:
+            raise KeyError(f"source {source} is not indexed")
+        return row
+
+    def dense_to(self, target: int) -> array:
+        """The raw distance row of ``target`` (:data:`UNREACHABLE` holes)."""
+        row = self._to_rows.get(target)
+        if row is None:
+            raise KeyError(f"target {target} is not indexed")
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Lookups (same semantics as the legacy class, plus range checking)
+    # ------------------------------------------------------------------ #
+    def _checked(self, row: array, vertex: int) -> float:
+        if not 0 <= vertex < self.num_vertices:
+            raise ValueError(
+                f"vertex id {vertex} is outside the indexed snapshot's "
+                f"range [0, {self.num_vertices})"
+            )
+        distance = row[vertex]
+        return INFINITY if distance == UNREACHABLE else distance
+
+    def dist_from(self, source: int, vertex: int) -> float:
+        """``dist_G(source, vertex)`` or ``inf`` when unreachable."""
+        row = self._from_rows.get(source)
+        if row is None:
+            raise KeyError(f"source {source} is not indexed")
+        return self._checked(row, vertex)
+
+    def dist_to(self, target: int, vertex: int) -> float:
+        """``dist_G(vertex, target)`` or ``inf`` when unreachable."""
+        row = self._to_rows.get(target)
+        if row is None:
+            raise KeyError(f"target {target} is not indexed")
+        return self._checked(row, vertex)
+
+    def has_source(self, source: int) -> bool:
+        return source in self._from_rows
+
+    def has_target(self, target: int) -> bool:
+        return target in self._to_rows
+
+    # ------------------------------------------------------------------ #
+    # Hop-constrained neighbourhoods (Definition 4.4)
+    # ------------------------------------------------------------------ #
+    def forward_neighborhood(self, source: int, hops: int) -> FrozenSet[int]:
+        """Γ — vertices reachable from ``source`` within ``hops`` hops."""
+        row = self._from_rows.get(source)
+        if row is None:
+            raise KeyError(f"source {source} is not indexed")
+        return frozenset(v for v, d in enumerate(row) if d <= hops)
+
+    def backward_neighborhood(self, target: int, hops: int) -> FrozenSet[int]:
+        """Γr — vertices that can reach ``target`` within ``hops`` hops."""
+        row = self._to_rows.get(target)
+        if row is None:
+            raise KeyError(f"target {target} is not indexed")
+        return frozenset(v for v, d in enumerate(row) if d <= hops)
+
+    def forward_level_sizes(self, source: int, hops: int) -> List[int]:
+        """Number of vertices at each exact distance 0..hops from ``source``."""
+        sizes = [0] * (hops + 1)
+        row = self._from_rows.get(source)
+        if row is not None:
+            for distance in row:
+                if distance <= hops:
+                    sizes[distance] += 1
+        return sizes
+
+    def backward_level_sizes(self, target: int, hops: int) -> List[int]:
+        """Number of vertices at each exact distance 0..hops to ``target``."""
+        sizes = [0] * (hops + 1)
+        row = self._to_rows.get(target)
+        if row is not None:
+            for distance in row:
+                if distance <= hops:
+                    sizes[distance] += 1
+        return sizes
+
+    @property
+    def size_in_entries(self) -> int:
+        """Total number of *reachable* (vertex, distance) entries stored."""
+        total = 0
+        for rows in (self._from_rows, self._to_rows):
+            for row in rows.values():
+                # array.count runs at C speed — no Python-level row scan.
+                total += len(row) - row.count(UNREACHABLE)
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate serialized payload size (rows only, no header)."""
+        itemsize = array(TYPECODE).itemsize
+        rows = len(self._from_rows) + len(self._to_rows)
+        return rows * self.num_vertices * itemsize
+
+    # ------------------------------------------------------------------ #
+    # Serialization (worker shipping)
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact blob for same-host worker shipping.
+
+        Layout: header (magic, itemsize, num_vertices, max_hops, row
+        counts), then the sorted endpoint ids of both directions, then the
+        raw rows in the same order.  Uses the platform's native ``'l'``
+        width — the blob travels between processes on one machine, not
+        across architectures.
+        """
+        from_ids = sorted(self._from_rows)
+        to_ids = sorted(self._to_rows)
+        itemsize = array(TYPECODE).itemsize
+        parts = [
+            _HEADER.pack(
+                _MAGIC,
+                itemsize,
+                self.num_vertices,
+                self.max_hops,
+                len(from_ids),
+                len(to_ids),
+                0,  # reserved
+            ),
+            array(TYPECODE, from_ids).tobytes(),
+            array(TYPECODE, to_ids).tobytes(),
+        ]
+        for endpoint in from_ids:
+            parts.append(self._from_rows[endpoint].tobytes())
+        for endpoint in to_ids:
+            parts.append(self._to_rows[endpoint].tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CSRDistanceIndex":
+        """Reconstruct an index serialized by :meth:`to_bytes`."""
+        magic, itemsize, num_vertices, max_hops, n_from, n_to, _ = (
+            _HEADER.unpack_from(blob, 0)
+        )
+        require(magic == _MAGIC, "not a CSRDistanceIndex payload")
+        require(
+            itemsize == array(TYPECODE).itemsize,
+            "CSRDistanceIndex payload was serialized with a different "
+            f"array itemsize ({itemsize}) than this platform uses",
+        )
+        view = memoryview(blob)
+        cursor = _HEADER.size
+
+        def read_array(count: int) -> array:
+            nonlocal cursor
+            out = array(TYPECODE)
+            nbytes = count * itemsize
+            out.frombytes(view[cursor:cursor + nbytes])
+            cursor += nbytes
+            return out
+
+        from_ids = list(read_array(n_from))
+        to_ids = list(read_array(n_to))
+        from_rows = {endpoint: read_array(num_vertices) for endpoint in from_ids}
+        to_rows = {endpoint: read_array(num_vertices) for endpoint in to_ids}
+        return cls(num_vertices, max_hops, from_rows, to_rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRDistanceIndex(|V|={self.num_vertices}, "
+            f"sources={len(self._from_rows)}, targets={len(self._to_rows)}, "
+            f"max_hops={self.max_hops})"
+        )
+
 
 @dataclass
 class DistanceIndex:
-    """Distances from query sources (on ``G``) and to query targets.
+    """Legacy dict-of-dicts index (reference implementation).
 
     Attributes
     ----------
@@ -37,6 +403,11 @@ class DistanceIndex:
         ``Gr``).
     max_hops:
         The hop bound the BFS traversals were truncated at.
+
+    Production code receives :class:`CSRDistanceIndex` from
+    :func:`build_index`; this class remains as the differential-testing
+    reference (built via :func:`build_dict_index`) and for hand-constructed
+    fixtures.
     """
 
     from_source: Dict[int, Dict[int, int]] = field(default_factory=dict)
@@ -111,18 +482,55 @@ class DistanceIndex:
         return total
 
 
+def densify_distances(distances: MappingABC, num_vertices: int) -> List[int]:
+    """Spread a sparse ``{vertex: distance}`` map over a dense list.
+
+    Holes take :data:`UNREACHABLE`, the same sentinel convention the CSR
+    rows use, so the enumeration hot loops can run one direct-indexing code
+    path whether the index is array-backed or a legacy dict fixture.
+    """
+    row = [UNREACHABLE] * num_vertices
+    for vertex, distance in distances.items():
+        row[vertex] = distance
+    return row
+
+
 def build_index(
     graph: DiGraph,
     sources: Iterable[int],
     targets: Iterable[int],
     max_hops: int,
-) -> DistanceIndex:
+) -> CSRDistanceIndex:
     """Build the batch distance index with two multi-source BFS traversals.
 
     ``sources`` are expanded forward on ``G``; ``targets`` backward on
     ``Gr``.  Distances are truncated at ``max_hops`` — Lemma 3.1 never needs
     larger values because any vertex further away cannot appear on a result
-    path.
+    path.  Returns the array-backed :class:`CSRDistanceIndex`.
+    """
+    require_positive(max_hops, "max_hops")
+    source_list = sorted(set(sources))
+    target_list = sorted(set(targets))
+    require(bool(source_list), "at least one source is required")
+    require(bool(target_list), "at least one target is required")
+    from_source = multi_source_bfs(graph, source_list, max_hops=max_hops, forward=True)
+    to_target = multi_source_bfs(graph, target_list, max_hops=max_hops, forward=False)
+    return CSRDistanceIndex.from_distance_maps(
+        graph.num_vertices, max_hops, from_source, to_target
+    )
+
+
+def build_dict_index(
+    graph: DiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    max_hops: int,
+) -> DistanceIndex:
+    """Build the legacy dict-of-dicts :class:`DistanceIndex`.
+
+    Same BFS traversals as :func:`build_index`; retained as the reference
+    representation the differential test suite pins the array-backed index
+    against.
     """
     require_positive(max_hops, "max_hops")
     source_list = sorted(set(sources))
@@ -138,7 +546,7 @@ def build_index(
 
 def build_index_for_queries(
     graph: DiGraph, queries: Sequence[Tuple[int, int, int]]
-) -> DistanceIndex:
+) -> CSRDistanceIndex:
     """Convenience wrapper taking raw ``(s, t, k)`` triples."""
     require(bool(queries), "queries must be non-empty")
     sources = [s for s, _, _ in queries]

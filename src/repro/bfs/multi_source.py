@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.graph.digraph import DiGraph
-from repro.utils.validation import require, require_non_negative, require_vertex
+from repro.utils.validation import require_non_negative, require_vertex
 
 
 def multi_source_bfs(

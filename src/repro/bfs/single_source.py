@@ -9,7 +9,7 @@ variant and the tests compare against.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.graph.digraph import DiGraph
 from repro.utils.validation import require_non_negative, require_vertex

@@ -20,9 +20,14 @@ how :class:`~repro.batch.basic_enum.BasicEnum` uses it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
-from repro.bfs.distance_index import DistanceIndex, build_index
+from repro.bfs.distance_index import (
+    CSRDistanceIndex,
+    DistanceIndex,
+    build_index,
+    densify_distances,
+)
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
 from repro.enumeration.paths import Path
 from repro.enumeration.search_order import choose_budget_split
@@ -126,17 +131,25 @@ class PathEnum:
         The search walks flat CSR adjacency with an explicit iterator
         stack, so arbitrarily large hop budgets never touch Python's
         recursion limit and the hot loop avoids per-step ``DiGraph`` method
-        dispatch.
+        dispatch.  Lemma 3.1 distances come from a dense row indexed
+        directly by vertex id (``UNREACHABLE`` holes are astronomically
+        larger than any hop budget, so the admissibility check needs no
+        branch); a legacy dict index is densified once per search so both
+        representations share this loop.
         """
         k = query.k
         adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
         if forward:
             start, other_end = query.s, query.t
-            distances = index.to_target[query.t]
         else:
             start, other_end = query.t, query.s
-            distances = index.from_source[query.s]
-        infinity = float("inf")
+        if isinstance(index, CSRDistanceIndex):
+            row = index.dense_to(query.t) if forward else index.dense_from(query.s)
+        else:
+            row = densify_distances(
+                index.to_target[query.t] if forward else index.from_source[query.s],
+                self.graph.num_vertices,
+            )
 
         collected: List[Path] = []
         if forward and start == other_end:  # guarded by HCSTQuery, defensive
@@ -155,7 +168,7 @@ class PathEnum:
             for neighbor in frame:
                 if neighbor in on_path:
                     continue
-                if used + 1 + distances.get(neighbor, infinity) > k:
+                if used + 1 + row[neighbor] > k:
                     continue
                 prefix.append(neighbor)
                 on_path.add(neighbor)

@@ -8,7 +8,7 @@ the theoretical speedup limit ``1 / (1 - µ_Q)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.datasets import dataset_names, load_dataset
 from repro.experiments.harness import DEFAULT_ALGORITHMS, compare_algorithms

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.batch.engine import ALGORITHMS, BatchQueryEngine
 from repro.batch.results import BatchResult

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.bfs.distance_index import DistanceIndex, build_index
+from repro.bfs.distance_index import CSRDistanceIndex, build_index
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.queries.similarity import QuerySimilarityMatrix
@@ -29,6 +29,7 @@ class QueryWorkload:
         graph: DiGraph,
         queries: Sequence[HCSTQuery],
         stage_timer: Optional[StageTimer] = None,
+        index: Optional[CSRDistanceIndex] = None,
     ) -> None:
         require(bool(queries), "a workload needs at least one query")
         for query in queries:
@@ -37,7 +38,21 @@ class QueryWorkload:
         self.graph = graph
         self.queries: List[HCSTQuery] = list(queries)
         self.stage_timer = stage_timer if stage_timer is not None else StageTimer()
-        self._index: Optional[DistanceIndex] = None
+        if index is not None:
+            # A prebuilt (possibly shipped-from-parent) index is accepted as
+            # long as it covers every query; a covering superset prunes
+            # identically (Lemma 3.1 only consults this workload's own
+            # endpoint distances).
+            require(
+                index.max_hops >= self.max_hop_constraint,
+                "prebuilt index max_hops does not cover this workload",
+            )
+            for query in self.queries:
+                require(
+                    index.has_source(query.s) and index.has_target(query.t),
+                    f"prebuilt index does not cover {query}",
+                )
+        self._index: Optional[CSRDistanceIndex] = index
         self._similarity: Optional[QuerySimilarityMatrix] = None
 
     # ------------------------------------------------------------------ #
@@ -56,7 +71,7 @@ class QueryWorkload:
         return sorted({query.t for query in self.queries})
 
     @property
-    def index(self) -> DistanceIndex:
+    def index(self) -> CSRDistanceIndex:
         """The batch distance index, built on first access ("BuildIndex")."""
         if self._index is None:
             with self.stage_timer.stage("BuildIndex"):

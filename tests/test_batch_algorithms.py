@@ -7,11 +7,7 @@ from repro.batch.batch_enum import BatchEnum
 from repro.batch.engine import ALGORITHMS, BatchQueryEngine, batch_enumerate
 from repro.enumeration.brute_force import enumerate_paths_brute_force
 from repro.enumeration.paths import sort_paths, validate_path
-from repro.graph.generators import (
-    paper_example_graph,
-    powerlaw_directed,
-    random_directed_gnm,
-)
+from repro.graph.generators import paper_example_graph
 from repro.queries.generation import generate_random_queries, generate_similar_workload
 from repro.queries.query import HCSTQuery
 

@@ -1,0 +1,193 @@
+"""Differential suite: array-backed CSRDistanceIndex ≡ legacy dict index.
+
+The array-backed index replaced the dict-of-dicts structure in every
+production path, so this suite pins the two representations to each other
+on random graphs and workloads — lookups, neighbourhoods, level sizes and
+the mapping-view protocol — plus the serialization round-trip the parallel
+executor relies on when shipping a parent-built index to workers, and the
+range checking that distinguishes "unreachable" from "not a vertex of this
+snapshot".
+"""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bfs.distance_index import (
+    CSRDistanceIndex,
+    UNREACHABLE,
+    build_dict_index,
+    build_index,
+    densify_distances,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def graph_and_endpoints(draw):
+    num_vertices = draw(st.integers(min_value=3, max_value=14))
+    possible_edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(num_vertices)
+        if u != v
+    ]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible_edges),
+            min_size=num_vertices,
+            max_size=4 * num_vertices,
+        )
+    )
+    graph = DiGraph.from_edges(set(edges), num_vertices=num_vertices)
+    vertex = st.integers(min_value=0, max_value=num_vertices - 1)
+    sources = draw(st.lists(vertex, min_size=1, max_size=4))
+    targets = draw(st.lists(vertex, min_size=1, max_size=4))
+    max_hops = draw(st.integers(min_value=1, max_value=6))
+    return graph, sources, targets, max_hops
+
+
+@given(case=graph_and_endpoints())
+@SETTINGS
+def test_csr_index_equivalent_to_dict_index(case):
+    graph, sources, targets, max_hops = case
+    csr = build_index(graph, sources, targets, max_hops)
+    legacy = build_dict_index(graph, sources, targets, max_hops)
+
+    assert csr.max_hops == legacy.max_hops
+    assert csr.size_in_entries == legacy.size_in_entries
+    assert set(csr.from_source) == set(legacy.from_source)
+    assert set(csr.to_target) == set(legacy.to_target)
+
+    for source in set(sources):
+        assert csr.has_source(source) and legacy.has_source(source)
+        # Mapping-view protocol: identical sparse contents.
+        assert dict(csr.from_source[source].items()) == legacy.from_source[source]
+        assert len(csr.from_source[source]) == len(legacy.from_source[source])
+        for vertex in range(graph.num_vertices):
+            assert csr.dist_from(source, vertex) == legacy.dist_from(
+                source, vertex
+            )
+        for hops in range(max_hops + 1):
+            assert csr.forward_neighborhood(source, hops) == (
+                legacy.forward_neighborhood(source, hops)
+            )
+            assert csr.forward_level_sizes(source, hops) == (
+                legacy.forward_level_sizes(source, hops)
+            )
+    for target in set(targets):
+        assert csr.has_target(target) and legacy.has_target(target)
+        assert dict(csr.to_target[target].items()) == legacy.to_target[target]
+        for vertex in range(graph.num_vertices):
+            assert csr.dist_to(target, vertex) == legacy.dist_to(target, vertex)
+        for hops in range(max_hops + 1):
+            assert csr.backward_neighborhood(target, hops) == (
+                legacy.backward_neighborhood(target, hops)
+            )
+            assert csr.backward_level_sizes(target, hops) == (
+                legacy.backward_level_sizes(target, hops)
+            )
+
+
+@given(case=graph_and_endpoints())
+@SETTINGS
+def test_to_bytes_round_trip(case):
+    graph, sources, targets, max_hops = case
+    index = build_index(graph, sources, targets, max_hops)
+    clone = CSRDistanceIndex.from_bytes(index.to_bytes())
+
+    assert clone.num_vertices == index.num_vertices
+    assert clone.max_hops == index.max_hops
+    assert set(clone.from_source) == set(index.from_source)
+    assert set(clone.to_target) == set(index.to_target)
+    for source in index.from_source:
+        assert clone.dense_from(source) == index.dense_from(source)
+    for target in index.to_target:
+        assert clone.dense_to(target) == index.dense_to(target)
+    # Serialization is deterministic.
+    assert clone.to_bytes() == index.to_bytes()
+
+
+def test_from_bytes_rejects_garbage():
+    with pytest.raises(ValueError):
+        CSRDistanceIndex.from_bytes(b"not an index payload" + b"\x00" * 64)
+
+
+def test_unreachable_is_infinity():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (3, 0)])
+    index = build_index(graph, sources=[0], targets=[2], max_hops=3)
+    assert index.dist_from(0, 2) == 2
+    assert index.dist_to(2, 0) == 2
+    assert math.isinf(index.dist_from(0, 3))  # 3 is not reachable from 0
+    assert index.dense_from(0)[3] == UNREACHABLE
+
+
+def test_out_of_range_vertex_ids_raise():
+    """Unknown-but-in-range ids are "unreachable"; ids outside the CSR
+    snapshot's vertex range are a caller bug and must raise (mirroring the
+    CSR packing range assert), not silently report infinity."""
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    index = build_index(graph, sources=[0], targets=[2], max_hops=2)
+
+    with pytest.raises(ValueError):
+        index.dist_from(0, 3)
+    with pytest.raises(ValueError):
+        index.dist_from(0, -1)
+    with pytest.raises(ValueError):
+        index.dist_to(2, 99)
+    row = index.from_source[0]
+    with pytest.raises(ValueError):
+        row.get(3)
+    with pytest.raises(ValueError):
+        row[3]
+    # Unindexed endpoints keep raising KeyError, like the legacy dicts.
+    with pytest.raises(KeyError):
+        index.dist_from(1, 0)
+    with pytest.raises(KeyError):
+        index.dense_from(1)
+    with pytest.raises(KeyError):
+        index.to_target[0]
+
+
+def test_row_view_mapping_protocol():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    index = build_index(graph, sources=[0], targets=[3], max_hops=2)
+    row = index.from_source[0]
+    assert row[0] == 0 and row[1] == 1 and row[2] == 2
+    assert 3 not in row  # beyond max_hops truncation
+    assert sorted(row) == [0, 1, 2]
+    assert sorted(row.values()) == [0, 1, 2]
+    assert len(row) == 3
+    with pytest.raises(KeyError):
+        row[3]  # in range, unreachable
+    assert row.get(3) is None
+    assert row.get(3, "fallback") == "fallback"
+
+
+def test_densify_distances_matches_sparse_map():
+    dense = densify_distances({0: 0, 2: 5}, 4)
+    assert dense == [0, UNREACHABLE, 5, UNREACHABLE]
+
+
+def test_ship_payload_survives_larger_graph():
+    graph = random_directed_gnm(120, 600, seed=3)
+    index = build_index(graph, sources=[0, 5, 7], targets=[10, 11], max_hops=4)
+    clone = CSRDistanceIndex.from_bytes(index.to_bytes())
+    for source in (0, 5, 7):
+        for vertex in range(graph.num_vertices):
+            assert clone.dist_from(source, vertex) == index.dist_from(
+                source, vertex
+            )
+    assert clone.size_in_entries == index.size_in_entries
+    assert index.nbytes == 5 * graph.num_vertices * index.dense_from(0).itemsize

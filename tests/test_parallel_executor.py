@@ -11,7 +11,7 @@ deterministic by batch position.
 import pytest
 
 from repro.batch.engine import BatchQueryEngine, batch_enumerate
-from repro.batch.executor import _contiguous_slices
+from repro.batch.planner import _contiguous_slices
 from repro.enumeration.brute_force import enumerate_paths_brute_force
 from repro.enumeration.paths import sort_paths
 from repro.graph.generators import random_directed_gnm

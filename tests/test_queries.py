@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bfs.distance_index import build_index
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_directed_gnm
 from repro.queries.query import Direction, HCSTQuery, HCsPathQuery
