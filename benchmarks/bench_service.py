@@ -1,0 +1,237 @@
+"""Continuous-ingestion service benchmark: micro-batching vs. the extremes.
+
+Replays one query workload under several *arrival rates* (fixed
+inter-arrival gaps) through three serving disciplines:
+
+* ``service``   — :class:`IngestionService` micro-batching: arrivals are
+  admitted into pending micro-batches (similarity fast path enabled) and
+  tickets resolve as shards complete.
+* ``one_per_run`` — the naive front door: every arrival immediately pays a
+  full ``engine.run([query])`` of its own (no batching, no sharing).
+* ``closed_batch`` — the offline oracle: wait until *all* queries have
+  arrived, then one closed ``engine.run(queries)``.  Best possible
+  sharing, worst possible first-query latency under continuous traffic.
+
+Per (arrival rate, discipline) the harness records wall-clock throughput
+and mean/p95 ticket latency (for the closed batch, a query's latency is
+measured from its *arrival* to batch completion — the fair comparison for
+continuous traffic).  The acceptance gate for the full sweep: at moderate
+arrival rates the service beats one-query-per-run throughput while its
+mean ticket latency stays below the closed-batch wall time.
+
+Every serviced query is verified against the closed-batch oracle's path
+set.  Writes ``BENCH_service.json`` next to the repo root.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.batch.engine import BatchQueryEngine
+from repro.batch.service import serve
+from repro.enumeration.paths import sort_paths
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+from repro.queries.query import HCSTQuery
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: (vertices, edges, hop constraint) per community — disjoint communities
+#: guarantee multiple clusters, and repeated per-community endpoints give
+#: the admission fast path genuine sharing to find.
+COMMUNITIES = (
+    (40, 140, 4),
+    (60, 260, 4),
+    (80, 420, 5),
+)
+QUERIES_PER_COMMUNITY = 8
+ALGORITHM = "batch+"
+
+#: Fixed inter-arrival gaps (seconds); 0 is an open-loop burst.
+ARRIVAL_GAPS_S = (0.0, 0.002, 0.01)
+
+
+def build_workload(communities=COMMUNITIES, seed: int = 0) -> Tuple[DiGraph, List[HCSTQuery]]:
+    edges: List[Tuple[int, int]] = []
+    queries: List[HCSTQuery] = []
+    offset = 0
+    for index, (num_vertices, num_edges, k) in enumerate(communities):
+        community = random_directed_gnm(num_vertices, num_edges, seed=seed + index)
+        edges.extend((offset + u, offset + v) for u, v in community.edges())
+        for query in generate_random_queries(
+            community, QUERIES_PER_COMMUNITY, min_k=k, max_k=k, seed=seed + index
+        ):
+            queries.append(HCSTQuery(offset + query.s, offset + query.t, query.k))
+        offset += num_vertices
+    graph = DiGraph.from_edges(edges, num_vertices=offset)
+    interleaved = []
+    for position in range(QUERIES_PER_COMMUNITY):
+        for community_index in range(len(communities)):
+            interleaved.append(
+                queries[community_index * QUERIES_PER_COMMUNITY + position]
+            )
+    return graph, interleaved
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_service(graph, queries, gap_s: float, oracle) -> dict:
+    """Replay arrivals through the ingestion service and verify tickets."""
+    with serve(
+        graph,
+        algorithm=ALGORITHM,
+        max_batch_size=8,
+        max_delay_s=0.005,
+        join_similarity=0.5,
+    ) as service:
+        start = time.perf_counter()
+        tickets = []
+        for query in queries:
+            tickets.append(service.submit(query))
+            if gap_s:
+                time.sleep(gap_s)
+        latencies = []
+        for position, ticket in enumerate(tickets):
+            paths = ticket.result(timeout=120.0)
+            assert sort_paths(paths) == sort_paths(
+                oracle.paths_at(position)
+            ), f"service diverged from the closed-batch oracle at {position}"
+            latencies.append(ticket.latency_s)
+        wall_s = time.perf_counter() - start
+        stats = service.stats()
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": len(queries) / wall_s,
+        "mean_latency_s": sum(latencies) / len(latencies),
+        "p95_latency_s": _percentile(latencies, 0.95),
+        "batches_dispatched": stats.batches_dispatched,
+        "mean_batch_size": stats.mean_batch_size,
+        "joined_fast_path": stats.joined_fast_path,
+        "cache_reuse_count": stats.sharing.cache_reuse_count,
+    }
+
+
+def run_one_per_run(graph, queries, gap_s: float) -> dict:
+    """One engine.run per arrival — the no-batching baseline."""
+    engine = BatchQueryEngine(graph, algorithm=ALGORITHM, num_workers=1)
+    start = time.perf_counter()
+    latencies = []
+    for query in queries:
+        arrived = time.perf_counter()
+        engine.run([query])
+        latencies.append(time.perf_counter() - arrived)
+        if gap_s:
+            time.sleep(gap_s)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": len(queries) / wall_s,
+        "mean_latency_s": sum(latencies) / len(latencies),
+        "p95_latency_s": _percentile(latencies, 0.95),
+    }
+
+
+def run_closed_batch(graph, queries, gap_s: float) -> Tuple[dict, object]:
+    """Wait for the full arrival train, then one closed batch.
+
+    A query's latency is arrival → batch completion: early arrivals wait
+    out the whole train plus the batch wall time.
+    """
+    engine = BatchQueryEngine(graph, algorithm=ALGORITHM)
+    start = time.perf_counter()
+    arrivals = []
+    for _ in queries:
+        arrivals.append(time.perf_counter())
+        if gap_s:
+            time.sleep(gap_s)
+    result = engine.run(queries)
+    finished = time.perf_counter()
+    latencies = [finished - arrived for arrived in arrivals]
+    return {
+        "wall_s": finished - start,
+        "batch_wall_s": finished - arrivals[-1],
+        "throughput_qps": len(queries) / (finished - start),
+        "mean_latency_s": sum(latencies) / len(latencies),
+        "p95_latency_s": _percentile(latencies, 0.95),
+    }, result
+
+
+def run(quick: bool = False) -> dict:
+    communities = COMMUNITIES[:2] if quick else COMMUNITIES
+    gaps = ARRIVAL_GAPS_S[:2] if quick else ARRIVAL_GAPS_S
+    graph, queries = build_workload(communities)
+    print(f"workload: {graph}, {len(queries)} queries, algorithm={ALGORITHM}")
+
+    records = []
+    for gap_s in gaps:
+        closed, oracle = run_closed_batch(graph, queries, gap_s)
+        service = run_service(graph, queries, gap_s, oracle)
+        naive = run_one_per_run(graph, queries, gap_s)
+        record = {
+            "arrival_gap_s": gap_s,
+            "num_queries": len(queries),
+            "service": service,
+            "one_per_run": naive,
+            "closed_batch": closed,
+            "service_beats_one_per_run_throughput": (
+                service["throughput_qps"] > naive["throughput_qps"]
+            ),
+            "service_mean_latency_below_closed_batch_wall": (
+                service["mean_latency_s"] < closed["batch_wall_s"]
+            ),
+        }
+        records.append(record)
+        print(
+            f"  gap={gap_s * 1000:5.1f}ms | service {service['throughput_qps']:7.1f} q/s "
+            f"(mean lat {service['mean_latency_s'] * 1000:6.2f}ms, "
+            f"{record['service']['batches_dispatched']} batches, "
+            f"mean size {service['mean_batch_size']:.1f}) | "
+            f"one-per-run {naive['throughput_qps']:7.1f} q/s | "
+            f"closed batch wall {closed['batch_wall_s'] * 1000:6.2f}ms"
+        )
+
+    artifact = {
+        "benchmark": "continuous_ingestion_service",
+        "algorithm": ALGORITHM,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": records,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+    return artifact
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweep")
+    args = parser.parse_args()
+    artifact = run(quick=args.quick)
+    # Gate only the full sweep: the quick workload is small enough for a
+    # noisy shared runner to flip either comparison.
+    if not args.quick:
+        moderate = [r for r in artifact["records"] if r["arrival_gap_s"] > 0.0]
+        assert any(
+            r["service_beats_one_per_run_throughput"] for r in moderate
+        ), "micro-batching failed to beat one-query-per-run throughput"
+        assert all(
+            r["service_mean_latency_below_closed_batch_wall"]
+            for r in artifact["records"]
+        ), "mean ticket latency exceeded the closed-batch wall time"
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,15 @@ instead of waiting on the slowest one::
     for position, paths in engine.stream(queries, ordered=False):
         handle(position, paths)
 
+For continuous traffic, :func:`serve` stands up an
+:class:`IngestionService` that accepts queries *while batches are in
+flight*, grouping arrivals into micro-batches and resolving per-query
+:class:`QueryTicket` handles as results stream out::
+
+    with serve(graph, algorithm="batch+") as service:
+        ticket = service.submit(HCSTQuery(0, 3, 3))
+        paths = ticket.result(timeout=30.0)
+
 The enumeration hot paths are iterative (explicit-stack) searches over a
 shared :class:`CSRGraph` snapshot, so arbitrarily deep hop constraints
 never hit Python's recursion limit.
@@ -51,8 +60,15 @@ from repro.batch.engine import (
 from repro.batch.basic_enum import BasicEnum, run_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
 from repro.batch.results import BatchResult, SharingStats
+from repro.batch.service import (
+    AdmissionPolicy,
+    IngestionService,
+    QueryTicket,
+    ServiceStats,
+    serve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DiGraph",
@@ -73,5 +89,10 @@ __all__ = [
     "BatchEnum",
     "BatchResult",
     "SharingStats",
+    "AdmissionPolicy",
+    "IngestionService",
+    "QueryTicket",
+    "ServiceStats",
+    "serve",
     "__version__",
 ]

@@ -18,10 +18,16 @@
   decision) that both the sequential and the parallel paths consume.
 * :mod:`repro.batch.executor` — plan-driven sharded parallel execution:
   shards are distributed across a process pool (the parent-built index
-  optionally shipped once via the pool initializer), shard futures are
-  drained as they complete, and result fragments are keyed by batch
-  position (plus the shared reorder-buffer flushing core used by both the
-  sequential and the parallel streaming paths).
+  optionally shipped once via the pool initializer, or per micro-batch
+  through a persistent :class:`WorkerPool`), shard futures are drained as
+  they complete, and result fragments are keyed by batch position (plus
+  the shared reorder-buffer flushing core used by both the sequential and
+  the parallel streaming paths).
+* :mod:`repro.batch.service` — continuous ingestion: an
+  :class:`IngestionService` (module-level :func:`serve`) admits queries
+  into micro-batches under an :class:`AdmissionPolicy` while earlier
+  batches are in flight, resolving per-query :class:`QueryTicket` handles
+  as results stream out.
 """
 
 from repro.batch.results import BatchResult, SharingStats, drain
@@ -43,13 +49,35 @@ from repro.batch.planner import (
     QueryPlanner,
     ShardPlan,
 )
-from repro.batch.executor import flush_fragments, run_parallel, stream_parallel
+from repro.batch.executor import (
+    WorkerPool,
+    flush_fragments,
+    run_parallel,
+    stream_parallel,
+)
+from repro.batch.service import (
+    AdmissionPolicy,
+    IngestionService,
+    QueryTicket,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceStats,
+    serve,
+)
 
 __all__ = [
     "run_parallel",
     "stream_parallel",
     "stream_enumerate",
     "flush_fragments",
+    "WorkerPool",
+    "AdmissionPolicy",
+    "IngestionService",
+    "QueryTicket",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "serve",
     "validate_num_workers",
     "CostModel",
     "ExecutionPlan",

@@ -73,7 +73,15 @@ streams for free.  Two flush policies:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.batch.basic_enum import BasicEnum, iter_pathenum_baseline
 from repro.batch.batch_enum import BatchEnum
@@ -94,6 +102,9 @@ from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.executor import WorkerPool
 
 #: Canonical algorithm names accepted by :class:`BatchQueryEngine`.
 ALGORITHMS = (
@@ -184,7 +195,9 @@ class BatchQueryEngine:
         """
         return self._plan(list(queries))
 
-    def _plan(self, queries: List[HCSTQuery]) -> ExecutionPlan:
+    def _plan(
+        self, queries: List[HCSTQuery], pool_ready: bool = False
+    ) -> ExecutionPlan:
         planner = QueryPlanner(
             self.graph,
             algorithm=self.algorithm,
@@ -192,7 +205,9 @@ class BatchQueryEngine:
             cost_model=self.cost_model,
             max_workers=self.max_workers,
         )
-        return planner.plan(queries, num_workers=self.num_workers)
+        return planner.plan(
+            queries, num_workers=self.num_workers, pool_ready=pool_ready
+        )
 
     # ------------------------------------------------------------------ #
     # Execution API
@@ -211,7 +226,10 @@ class BatchQueryEngine:
         return drain(self._stream_core(list(queries), ordered=True))
 
     def stream(
-        self, queries: Sequence[HCSTQuery], ordered: bool = True
+        self,
+        queries: Sequence[HCSTQuery],
+        ordered: bool = True,
+        pool: "WorkerPool | None" = None,
     ) -> Iterator[Tuple[int, List[Path]]]:
         """Yield ``(batch_position, paths)`` as completions land.
 
@@ -225,36 +243,91 @@ class BatchQueryEngine:
         raised while processing any shard propagates out of the iterator;
         positions flushed before the failure have already been delivered.
 
-        When the plan resolves to multiple workers, abandoning the iterator
-        early (``break`` or ``close()``) cancels shards that have not
-        started but blocks until the shards already running in worker
-        processes finish — the pool is joined before the generator's
-        cleanup returns, so no orphaned workers outlive the stream.
+        The graph version is pinned when the stream starts: mutating the
+        graph while the stream is in flight raises ``RuntimeError`` at the
+        next flush instead of silently mixing results computed against
+        different snapshots.
+
+        ``pool`` is an optional persistent
+        :class:`~repro.batch.executor.WorkerPool` (see :meth:`create_pool`)
+        that parallel plans reuse instead of spawning a fresh process pool —
+        the ingestion service drives every micro-batch through one pool.
+
+        When the plan resolves to multiple workers and no ``pool`` is
+        given, abandoning the iterator early (``break`` or ``close()``)
+        cancels shards that have not started but blocks until the shards
+        already running in worker processes finish — the pool is joined
+        before the generator's cleanup returns, so no orphaned workers
+        outlive the stream.
         """
-        yield from self._stream_core(list(queries), ordered=ordered)
+        yield from self._stream_core(list(queries), ordered=ordered, pool=pool)
+
+    def stream_planned(
+        self,
+        queries: Sequence[HCSTQuery],
+        plan: ExecutionPlan,
+        ordered: bool = False,
+        pool: "WorkerPool | None" = None,
+    ) -> ResultStream:
+        """Execute a prebuilt :class:`ExecutionPlan`, streaming results.
+
+        The reusable planning/streaming core behind :meth:`stream`, exposed
+        for schedulers that plan a batch themselves (the ingestion
+        service's admission policy consults the planner before dispatch, so
+        re-planning inside ``stream`` would double the work): ``plan`` must
+        have been built by :meth:`explain`/``QueryPlanner.plan`` for these
+        exact ``queries``.  Yields ``(batch_position, paths)`` like
+        :meth:`stream`; the generator's return value is the finished
+        :class:`BatchResult` (sharing stats, stage timings), which
+        ``run``-style callers retrieve from ``StopIteration.value``.
+        """
+        result = yield from self._stream_core(
+            list(queries), ordered=ordered, pool=pool, plan=plan
+        )
+        return result
+
+    def create_pool(self, max_workers: int) -> "WorkerPool":
+        """Open a persistent :class:`~repro.batch.executor.WorkerPool` bound
+        to this engine's graph/algorithm/gamma, for reuse across many
+        ``stream``/``run`` calls (micro-batch serving).  The caller owns the
+        pool: pass it via ``stream(..., pool=...)`` and ``shutdown()`` it
+        when done."""
+        from repro.batch.executor import WorkerPool
+
+        return WorkerPool(
+            self.graph, self.algorithm, self.gamma, max_workers=max_workers
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _stream_core(
-        self, queries: List[HCSTQuery], ordered: bool
+        self,
+        queries: List[HCSTQuery],
+        ordered: bool,
+        pool: "WorkerPool | None" = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> ResultStream:
-        """The shared fragment pipeline behind :meth:`run` and
-        :meth:`stream`: plan, pick a fragment generator (sequential runner
-        or plan-driven parallel executor) and push it through the flushing
-        core."""
+        """The shared fragment pipeline behind :meth:`run`, :meth:`stream`
+        and :meth:`stream_planned`: plan (unless one was handed in), pick a
+        fragment generator (sequential runner or plan-driven parallel
+        executor) and push it through the flushing core.  Every fragment
+        flush re-checks the pinned graph version."""
         from repro.batch.executor import flush_fragments, stream_parallel
 
         if not queries:
             return BatchResult(
                 queries=[], algorithm=DISPLAY_NAMES[self.algorithm]
             )
-        if self.num_workers == 1:
+        pinned_version = self.graph.version
+        if plan is None and self.num_workers == 1 and pool is None:
             # Explicit sequential request: no planning, byte-identical to
             # the pre-planner engine (the differential suites pin this).
             fragments = self._fragment_runner()(queries)
         else:
-            plan = self._plan(queries)
+            if plan is None:
+                plan = self._plan(queries, pool_ready=pool is not None)
+            pinned_version = plan.graph_version
             if plan.num_workers <= 1:
                 fragments = self._sequential_fragments(queries, plan)
             else:
@@ -264,8 +337,13 @@ class BatchQueryEngine:
                     algorithm=self.algorithm,
                     gamma=self.gamma,
                     plan=plan,
+                    pool=pool,
                 )
-        result = yield from flush_fragments(fragments, len(queries), ordered)
+        result = yield from _pin_graph_version(
+            flush_fragments(fragments, len(queries), ordered),
+            self.graph,
+            pinned_version,
+        )
         return result
 
     def _sequential_fragments(
@@ -310,6 +388,41 @@ class BatchQueryEngine:
 
             return lambda queries: iter_onepass_baseline(self.graph, queries)
         raise ValueError(f"unhandled algorithm {self.algorithm!r}")
+
+
+def _pin_graph_version(
+    stream: ResultStream, graph: DiGraph, pinned_version: int
+) -> ResultStream:
+    """Guard a result stream against concurrent graph mutation.
+
+    The whole pipeline behind a stream — CSR snapshot, distance index,
+    clusters, cost estimates — is derived from the graph as it stood at
+    plan time.  A mutation mid-stream would silently invalidate those
+    artefacts (the next ``csr_snapshot()`` call re-packs, mixing results
+    computed against different graphs), so *every flushed position* is
+    re-checked against the pinned version and a clear ``RuntimeError`` is
+    raised at the first flush after the versions diverge.  Positions
+    flushed before the mutation were computed entirely against the pinned
+    snapshot and remain valid, as does a mutation after the final flush.
+    """
+    try:
+        while True:
+            try:
+                item = next(stream)
+            except StopIteration as stop:
+                # Everything was flushed against the pinned snapshot; a
+                # mutation after the final flush invalidates nothing.
+                return stop.value
+            require(
+                graph.version == pinned_version,
+                "graph mutated while a stream was in flight "
+                f"(version {pinned_version} -> {graph.version}); "
+                "re-run the batch against the new graph",
+                exception=RuntimeError,
+            )
+            yield item
+    finally:
+        stream.close()
 
 
 def batch_enumerate(

@@ -97,6 +97,14 @@ _WORKER_GRAPH: Optional[DiGraph] = None
 _WORKER_CONFIG: Optional[dict] = None
 _WORKER_INDEX: Optional[CSRDistanceIndex] = None
 
+#: One-slot cache of the most recent *per-task* shipped index (persistent
+#: pools serve many micro-batches, each with its own index, so the payload
+#: travels with the task instead of the pool initializer): ``(key, index)``.
+_WORKER_TASK_INDEX: Tuple[Optional[object], Optional[CSRDistanceIndex]] = (
+    None,
+    None,
+)
+
 #: A result fragment sent back by a worker: paths keyed by original batch
 #: position, the shard's sharing stats, and its stage-time totals.
 Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float]]
@@ -120,7 +128,28 @@ def _init_worker(graph: DiGraph, config: dict) -> None:
     )
 
 
-def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
+def _resolve_task_index(
+    index_key: Optional[object], index_bytes: Optional[bytes]
+) -> Optional[CSRDistanceIndex]:
+    """The index a task should read: the initializer-shipped one (one-shot
+    pools) or the task-shipped payload (persistent pools), deserialized once
+    per worker per micro-batch — shards of the same batch share
+    ``index_key`` so later shards hit the one-slot cache."""
+    global _WORKER_TASK_INDEX
+    if index_bytes is None:
+        return _WORKER_INDEX
+    cached_key, cached_index = _WORKER_TASK_INDEX
+    if cached_key != index_key or cached_index is None:
+        cached_index = CSRDistanceIndex.from_bytes(index_bytes)
+        _WORKER_TASK_INDEX = (index_key, cached_index)
+    return cached_index
+
+
+def _run_cluster_task(
+    queries_by_position: Dict[int, HCSTQuery],
+    index_key: Optional[object] = None,
+    index_bytes: Optional[bytes] = None,
+) -> Fragment:
     """Process one cluster inside a worker (``batch``/``batch+``)."""
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
     assert graph is not None and config is not None, "worker not initialised"
@@ -131,7 +160,7 @@ def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
         max_detection_depth=config["max_detection_depth"],
     )
     stage_timer = StageTimer()
-    index = _WORKER_INDEX
+    index = _resolve_task_index(index_key, index_bytes)
     if index is None:
         # Rebuild plan: shard-local BFS over this cluster's endpoints.
         with stage_timer.stage("BuildIndex"):
@@ -150,7 +179,10 @@ def _run_cluster_task(queries_by_position: Dict[int, HCSTQuery]) -> Fragment:
 
 
 def _run_slice_task(
-    positions: Sequence[int], queries: Sequence[HCSTQuery]
+    positions: Sequence[int],
+    queries: Sequence[HCSTQuery],
+    index_key: Optional[object] = None,
+    index_bytes: Optional[bytes] = None,
 ) -> Fragment:
     """Process one contiguous query slice inside a worker (per-query
     algorithms: the sequential runner is reused verbatim)."""
@@ -160,7 +192,7 @@ def _run_slice_task(
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
     assert graph is not None and config is not None, "worker not initialised"
     algorithm = config["algorithm"]
-    index = _WORKER_INDEX
+    index = _resolve_task_index(index_key, index_bytes)
     if index is not None and algorithm in ("basic", "basic+"):
         # Shipped-index plan: run BasicEnum directly on the parent's global
         # index (a covering superset of the slice's own — prunes
@@ -180,6 +212,91 @@ def _run_slice_task(
         for local, position in enumerate(positions)
     }
     return paths_by_position, sub_result.sharing, sub_result.stage_timer.totals
+
+
+class WorkerPool:
+    """A long-lived worker-process pool reused across micro-batches.
+
+    :func:`stream_parallel` normally spawns (and joins) a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` per call, paying the
+    pool-spawn overhead — the dominant cost of a small batch — every time.
+    A continuous-ingestion service dispatches many small micro-batches
+    against one graph/algorithm configuration, so it opens one
+    ``WorkerPool`` up front (the graph and the static config ship through
+    the initializer exactly once) and passes it to every
+    ``stream_parallel``/``engine.stream`` call.
+
+    Because the initializer runs once per worker *process* but each
+    micro-batch has its own distance index, a pooled batch ships its index
+    payload with its tasks instead: all shards of one batch share an
+    ``index_key``, and each worker deserializes a given batch's payload at
+    most once (see :func:`_resolve_task_index`).
+
+    The pool is not thread-safe for concurrent batches; the intended owner
+    is a single scheduler thread.  ``shutdown()`` (or use as a context
+    manager) joins the workers.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        algorithm: str,
+        gamma: float,
+        max_workers: int,
+        max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+    ) -> None:
+        require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
+        self.graph = graph
+        self.algorithm = algorithm
+        self.gamma = gamma
+        self.max_workers = max_workers
+        self.max_detection_depth = max_detection_depth
+        #: Version of the graph the workers were spawned with.  Workers hold
+        #: their own pickled copy, so an in-place mutation of ``graph`` does
+        #: NOT reach them — executors must refuse a pool whose snapshot is
+        #: older than the plan's (see :func:`stream_parallel`).
+        self.graph_version = graph.version
+        config = {
+            "algorithm": algorithm,
+            "gamma": gamma,
+            "optimize_search_order": algorithm.endswith("+"),
+            "max_detection_depth": max_detection_depth,
+            "index_bytes": None,
+        }
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(graph, config),
+        )
+        self._batch_counter = 0
+        self._closed = False
+
+    def next_batch_key(self) -> int:
+        """A fresh key identifying one micro-batch's shipped index."""
+        self._batch_counter += 1
+        return self._batch_counter
+
+    def submit(self, fn, *args):
+        require(not self._closed, "WorkerPool is shut down", RuntimeError)
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Join the worker processes (idempotent)."""
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"WorkerPool({self.algorithm!r}, max_workers={self.max_workers}, "
+            f"batches={self._batch_counter}, {state})"
+        )
 
 
 def run_parallel(
@@ -216,6 +333,7 @@ def stream_parallel(
     num_workers: Optional[int] = None,
     max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
     plan: "ExecutionPlan | None" = None,
+    pool: Optional[WorkerPool] = None,
 ) -> FragmentStream:
     """Fragment generator over shard completions (``num_workers >= 2``).
 
@@ -228,6 +346,17 @@ def stream_parallel(
     shard raises, the exception propagates out of the generator after the
     pending futures are cancelled and the pool is shut down — the drain
     loop never hangs on a poisoned shard.
+
+    With a persistent ``pool`` (see :class:`WorkerPool`) the fan-out reuses
+    its already-spawned workers instead of paying a pool spawn: the plan's
+    index payload ships with this batch's tasks (deserialized once per
+    worker, shards share the batch key) and on exit only this batch's
+    pending futures are cancelled — the pool itself stays open for the next
+    micro-batch.  One trade-off of sharing: a process pool cannot kill a
+    *running* task, so shards of a failed or abandoned pooled batch that
+    had already started keep their worker slots until they finish (their
+    results are discarded); the one-shot path's "pool joined before the
+    generator returns" guarantee applies only when no ``pool`` is passed.
     """
     if plan is None:
         from repro.batch.planner import QueryPlanner
@@ -243,6 +372,23 @@ def stream_parallel(
         plan.num_workers >= 2,
         "stream_parallel requires a plan resolved to num_workers >= 2",
     )
+    if pool is not None:
+        require(
+            pool.graph is graph
+            and pool.algorithm == algorithm
+            and pool.gamma == gamma
+            and pool.max_detection_depth == max_detection_depth,
+            "WorkerPool was opened for a different configuration "
+            f"({pool!r}); open one pool per engine configuration",
+        )
+        require(
+            pool.graph_version == plan.graph_version,
+            "WorkerPool workers hold a graph snapshot from version "
+            f"{pool.graph_version} but the plan was built against version "
+            f"{plan.graph_version}; the graph mutated after the pool "
+            "spawned — open a fresh pool",
+            exception=RuntimeError,
+        )
     from repro.batch.engine import DISPLAY_NAMES
 
     stage_timer = plan.stage_timer or StageTimer()
@@ -266,21 +412,36 @@ def stream_parallel(
         ]
         worker_fn, make_args = _run_slice_task, lambda task: task
 
-    config = {
-        "algorithm": algorithm,
-        "gamma": gamma,
-        "optimize_search_order": algorithm.endswith("+"),
-        "max_detection_depth": max_detection_depth,
-        "index_bytes": plan.index_bytes if plan.ship_index else None,
-    }
-    with stage_timer.stage("Enumeration"):
-        pool = ProcessPoolExecutor(
+    shipped_bytes = plan.index_bytes if plan.ship_index else None
+    if pool is None:
+        config = {
+            "algorithm": algorithm,
+            "gamma": gamma,
+            "optimize_search_order": algorithm.endswith("+"),
+            "max_detection_depth": max_detection_depth,
+            "index_bytes": shipped_bytes,
+        }
+        executor = ProcessPoolExecutor(
             max_workers=plan.num_workers,
             initializer=_init_worker,
             initargs=(graph, config),
         )
+        extra_args: Tuple = ()
+    else:
+        # Persistent pool: the initializer already shipped the graph and
+        # static config; this batch's index (if any) rides on each task
+        # under a shared batch key.
+        executor = pool
+        extra_args = (
+            (pool.next_batch_key(), shipped_bytes) if shipped_bytes else ()
+        )
+    with stage_timer.stage("Enumeration"):
+        futures: List = []
         try:
-            futures = [pool.submit(worker_fn, *make_args(task)) for task in tasks]
+            futures = [
+                executor.submit(worker_fn, *make_args(task), *extra_args)
+                for task in tasks
+            ]
             for future in as_completed(futures):
                 paths_by_position, fragment_sharing, stage_totals = future.result()
                 for position in sorted(paths_by_position):
@@ -296,10 +457,16 @@ def stream_parallel(
                     for position in sorted(paths_by_position)
                 }
         finally:
-            # On an error (or an abandoned consumer) cancel whatever has not
-            # started; running shards finish or fail on their own, and the
-            # wait guarantees no orphaned worker processes.
-            pool.shutdown(wait=True, cancel_futures=True)
+            if pool is None:
+                # On an error (or an abandoned consumer) cancel whatever has
+                # not started; running shards finish or fail on their own,
+                # and the wait guarantees no orphaned worker processes.
+                executor.shutdown(wait=True, cancel_futures=True)
+            else:
+                # Only this batch's unstarted shards are cancelled; the pool
+                # stays open for the next micro-batch.
+                for future in futures:
+                    future.cancel()
 
     if algorithm not in CLUSTERED_ALGORITHMS:
         # Per-query algorithms report one "cluster" per query, like their

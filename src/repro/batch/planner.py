@@ -37,9 +37,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.batch.clustering import cluster_queries
 from repro.bfs.distance_index import CSRDistanceIndex
+from repro.bfs.single_source import bfs_distances
 from repro.enumeration.search_order import estimate_side_cost
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
+from repro.queries.similarity import similarity_from_neighborhoods
 from repro.queries.workload import QueryWorkload
 from repro.utils.timer import StageTimer
 from repro.utils.validation import require
@@ -69,6 +71,14 @@ ALGORITHM_COST_FACTORS: Dict[str, float] = {
 }
 
 NumWorkers = Union[int, str]
+
+#: Entry cap on the planner's admission-score neighbourhood memo.  A
+#: long-running ingestion service holds one planner forever; without a
+#: bound, diverse traffic accretes one O(|V|) frozenset per (direction,
+#: endpoint, budget) key indefinitely.  Eviction is FIFO (dict order) —
+#: recency-perfect LRU is not worth the bookkeeping for a cache whose
+#: misses cost one k-hop BFS.
+NEIGHBORHOOD_CACHE_LIMIT = 4096
 
 
 def validate_num_workers(value: NumWorkers) -> NumWorkers:
@@ -254,6 +264,10 @@ class ExecutionPlan:
     estimated_spawn_seconds: float
     estimated_index_ship_seconds: float
     estimated_index_rebuild_seconds: float
+    #: ``graph.version`` pinned when the plan (and its CSR snapshot / index)
+    #: was built.  Executors compare against it to detect a graph that
+    #: mutated between planning and (mid-)execution.
+    graph_version: int = -1
     workload: Optional[QueryWorkload] = field(default=None, repr=False)
     clusters: Optional[List[List[int]]] = field(default=None, repr=False)
     index_bytes: Optional[bytes] = field(default=None, repr=False)
@@ -390,22 +404,40 @@ class QueryPlanner:
             max_workers = os.cpu_count() or 1
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        #: (direction, endpoint, budget) → frozenset neighbourhood, used by
+        #: the admission hook; invalidated when the graph version moves.
+        self._neighborhood_cache: Dict[Tuple, frozenset] = {}
+        self._neighborhood_cache_version = self.graph.version
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def plan(
-        self, queries: Sequence[HCSTQuery], num_workers: NumWorkers = "auto"
+        self,
+        queries: Sequence[HCSTQuery],
+        num_workers: NumWorkers = "auto",
+        pool_ready: bool = False,
     ) -> ExecutionPlan:
         """Emit the execution plan for ``queries``.
 
         ``num_workers`` is either a positive integer (honoured as given) or
-        ``"auto"`` (resolved by the cost model).  An empty batch plans to a
-        trivial sequential no-op.
+        ``"auto"`` (resolved by the cost model).  ``pool_ready`` declares
+        that the caller already holds a spawned, reusable
+        :class:`~repro.batch.executor.WorkerPool`, so parallel estimates
+        carry no pool-spawn overhead — without it, a continuous-ingestion
+        micro-batch would be charged a full pool spawn it never pays and
+        ``auto`` would stay sequential even when sharding wins.  An empty
+        batch plans to a trivial sequential no-op.
         """
         num_workers = validate_num_workers(num_workers)
         queries = list(queries)
         model = self.cost_model
+        # Pin the snapshot the whole plan→execute pipeline will read.  Every
+        # prebuilt artefact below (index, clusters, cost estimates) is
+        # derived from this exact CSR packing; the recorded version lets the
+        # engine refuse to serve results if the graph mutates mid-stream.
+        pinned_version = self.graph.version
+        self.graph.csr_snapshot()
         if not queries:
             return ExecutionPlan(
                 algorithm=self.algorithm,
@@ -420,6 +452,7 @@ class QueryPlanner:
                 estimated_spawn_seconds=0.0,
                 estimated_index_ship_seconds=0.0,
                 estimated_index_rebuild_seconds=0.0,
+                graph_version=pinned_version,
             )
 
         clustered = self.algorithm in CLUSTERED_ALGORITHMS
@@ -460,13 +493,24 @@ class QueryPlanner:
             ship_index = ship_seconds < rebuild_seconds
 
         resolved = self._resolve_workers(
-            num_workers, query_costs, clusters, ship_seconds, rebuild_seconds
+            num_workers,
+            query_costs,
+            clusters,
+            ship_seconds,
+            rebuild_seconds,
+            pool_ready=pool_ready,
         )
         shards = self._build_shards(query_costs, clusters, resolved)
         if ship_index and resolved > 1 and index is not None:
             index_bytes = index.to_bytes()
             payload_size = len(index_bytes)
 
+        require(
+            self.graph.version == pinned_version,
+            "graph mutated while the planner was building its plan; "
+            "re-plan against the new snapshot",
+            exception=RuntimeError,
+        )
         total_cost = sum(query_costs)
         per_worker_index = ship_seconds if ship_index else rebuild_seconds
         return ExecutionPlan(
@@ -479,15 +523,85 @@ class QueryPlanner:
             index_payload_bytes=payload_size,
             estimated_sequential_seconds=total_cost * model.seconds_per_cost_unit,
             estimated_parallel_seconds=self._parallel_seconds(
-                resolved, shards, per_worker_index
+                resolved, shards, per_worker_index, pool_ready=pool_ready
             ),
-            estimated_spawn_seconds=model.spawn_seconds(resolved),
+            estimated_spawn_seconds=(
+                0.0 if pool_ready else model.spawn_seconds(resolved)
+            ),
             estimated_index_ship_seconds=ship_seconds,
             estimated_index_rebuild_seconds=rebuild_seconds,
+            graph_version=pinned_version,
             workload=workload,
             clusters=clusters,
             index_bytes=index_bytes,
         )
+
+    # ------------------------------------------------------------------ #
+    # Admission hook (continuous ingestion)
+    # ------------------------------------------------------------------ #
+    def admission_score(
+        self, query: HCSTQuery, pending: Sequence[HCSTQuery]
+    ) -> float:
+        """Estimated sharing payoff of merging ``query`` into ``pending``.
+
+        This is the cost hook behind the ingestion service's "join pending
+        cluster" fast path: the maximum pairwise similarity µ (Definition
+        4.5, harmonic mean of the forward/backward hop-constrained
+        neighbourhood overlaps) between the arriving query and any query of
+        the not-yet-dispatched micro-batch.  A high score means the two
+        queries explore the same region of the graph, so admitting the
+        arrival into the in-flight batch lets ``ClusterQuery`` put them in
+        one cluster and share HC-s path enumeration.
+
+        Neighbourhoods are k-hop BFS frontiers computed on demand and
+        memoised per ``(direction, endpoint, budget)`` — continuous traffic
+        repeats endpoints heavily, so steady-state admission decisions cost
+        two dict probes plus |pending| set intersections.  The memo is
+        dropped when the graph version moves.  An empty ``pending`` scores
+        0.0.
+        """
+        if not pending:
+            return 0.0
+        forward = self._neighborhood("f", query.s, query.k)
+        backward = self._neighborhood("b", query.t, query.k)
+        best = 0.0
+        for other in pending:
+            mu = similarity_from_neighborhoods(
+                forward,
+                backward,
+                self._neighborhood("f", other.s, other.k),
+                self._neighborhood("b", other.t, other.k),
+            )
+            if mu > best:
+                best = mu
+                if best >= 1.0:
+                    break
+        return best
+
+    def _neighborhood(
+        self, direction: str, endpoint: int, budget: int
+    ) -> frozenset:
+        """Memoised Γ (``direction="f"``) / Γr (``"b"``) frontier."""
+        if self._neighborhood_cache_version != self.graph.version:
+            self._neighborhood_cache.clear()
+            self._neighborhood_cache_version = self.graph.version
+        key = (direction, endpoint, budget)
+        cached = self._neighborhood_cache.get(key)
+        if cached is None:
+            cached = frozenset(
+                bfs_distances(
+                    self.graph,
+                    endpoint,
+                    max_hops=budget,
+                    forward=direction == "f",
+                )
+            )
+            while len(self._neighborhood_cache) >= NEIGHBORHOOD_CACHE_LIMIT:
+                self._neighborhood_cache.pop(
+                    next(iter(self._neighborhood_cache))
+                )
+            self._neighborhood_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -544,13 +658,14 @@ class QueryPlanner:
         num_workers: int,
         shards: List[ShardPlan],
         per_worker_index_seconds: float,
+        pool_ready: bool = False,
     ) -> float:
         model = self.cost_model
         costs = [shard.estimated_cost for shard in shards]
         if num_workers <= 1 or not shards:
             return sum(costs) * model.seconds_per_cost_unit
         return (
-            model.spawn_seconds(num_workers)
+            (0.0 if pool_ready else model.spawn_seconds(num_workers))
             + per_worker_index_seconds
             + _lpt_makespan(costs, num_workers) * model.seconds_per_cost_unit
         )
@@ -562,6 +677,7 @@ class QueryPlanner:
         clusters: Optional[List[List[int]]],
         ship_seconds: float,
         rebuild_seconds: float,
+        pool_ready: bool = False,
     ) -> int:
         if requested != "auto":
             return int(requested)
@@ -575,7 +691,7 @@ class QueryPlanner:
         best_seconds = sequential_seconds
         for candidate in range(2, limit + 1):
             estimate = (
-                model.spawn_seconds(candidate)
+                (0.0 if pool_ready else model.spawn_seconds(candidate))
                 + per_worker_index
                 + self._makespan(query_costs, clusters, candidate)
                 * model.seconds_per_cost_unit

@@ -12,7 +12,7 @@ forwards the fragments through a reorder buffer as they arrive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.enumeration.paths import Path, sort_paths
 from repro.queries.query import HCSTQuery
@@ -130,6 +130,9 @@ class BatchResult:
     stage_timer: StageTimer = field(default_factory=StageTimer)
     sharing: SharingStats = field(default_factory=SharingStats)
     algorithm: str = ""
+    _positions_by_query: Optional[Dict[HCSTQuery, Tuple[int, ...]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, position: int, paths: Sequence[Path]) -> None:
         """Store the result paths of the query at ``position``."""
@@ -139,16 +142,39 @@ class BatchResult:
         """Paths of the query at batch position ``position``."""
         return list(self.paths_by_position.get(position, []))
 
+    def positions_of(self, query: HCSTQuery) -> Tuple[int, ...]:
+        """Every batch position holding ``query``, ascending.
+
+        The query → positions map is built lazily on first lookup and
+        reused (``queries`` is fixed after construction), so repeated
+        ``paths``/``positions_of`` calls cost one dict probe instead of an
+        O(|Q|) scan per call.  Duplicate submissions each keep their own
+        position — and therefore their own per-position answer.
+        """
+        if self._positions_by_query is None:
+            grouped: Dict[HCSTQuery, List[int]] = {}
+            for position, candidate in enumerate(self.queries):
+                grouped.setdefault(candidate, []).append(position)
+            self._positions_by_query = {
+                candidate: tuple(positions)
+                for candidate, positions in grouped.items()
+            }
+        positions = self._positions_by_query.get(query)
+        if positions is None:
+            raise KeyError(f"{query} is not part of this batch")
+        return positions
+
     def paths(self, query: HCSTQuery) -> List[Path]:
         """Paths of the first batch entry equal to ``query``."""
-        for position, candidate in enumerate(self.queries):
-            if candidate == query:
-                return self.paths_at(position)
-        raise KeyError(f"{query} is not part of this batch")
+        return self.paths_at(self.positions_of(query)[0])
 
     def counts(self) -> List[int]:
         """Number of result paths per query position."""
-        return [len(self.paths_at(position)) for position in range(len(self.queries))]
+        empty: List[Path] = []
+        return [
+            len(self.paths_by_position.get(position, empty))
+            for position in range(len(self.queries))
+        ]
 
     def total_paths(self) -> int:
         return sum(self.counts())

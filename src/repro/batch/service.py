@@ -1,0 +1,676 @@
+"""Continuous-ingestion micro-batch service on top of the streaming engine.
+
+The batch engine answers one *closed* batch: every query is known before
+``run``/``stream`` starts.  A production front door faces the opposite
+shape — queries arrive continuously, and a new arrival should neither wait
+for an entire in-flight batch to finish nor pay a full batch pipeline all
+by itself.  :class:`IngestionService` bridges the two with micro-batching:
+
+1. ``submit(query)`` enqueues the query and immediately returns a
+   :class:`QueryTicket`; the caller blocks only when it chooses to
+   (``ticket.result(timeout=...)``).
+2. A single background scheduler thread groups pending queries into
+   micro-batches under an :class:`AdmissionPolicy`: a batch is dispatched
+   when it reaches ``max_batch_size`` or when ``max_delay_s`` has passed
+   since its first query arrived — the classic latency/throughput dial.
+3. The **join-pending-cluster fast path**: just before dispatch, queries
+   still queued behind the batch are scored by the planner's similarity
+   model (:meth:`~repro.batch.planner.QueryPlanner.admission_score`); an
+   arrival whose hop-constrained neighbourhood overlaps a batch member's
+   (µ ≥ ``join_similarity``) is merged into the not-yet-dispatched batch
+   even past the size/deadline cut, because sharing its enumeration with
+   the cluster it resembles is cheaper than starting a new batch for it.
+4. Each micro-batch flows through the existing plan→execute pipeline
+   (:meth:`~repro.batch.engine.BatchQueryEngine.stream_planned`) with
+   ``ordered=False``, so a ticket resolves the moment the shard/cluster
+   owning its position completes — never at batch rank order.  Parallel
+   plans reuse one persistent :class:`~repro.batch.executor.WorkerPool`
+   across micro-batches instead of spawning a process pool per batch.
+
+Error and lifecycle semantics
+-----------------------------
+* A failure inside a micro-batch resolves every still-unresolved ticket of
+  that batch with the exception (tickets whose results had already flushed
+  keep them); the scheduler itself survives and keeps serving later
+  batches.  Shards of the failed batch that were already running on the
+  shared pool finish in the background (a process pool cannot kill a
+  running task) — their slots free up as they complete.
+* ``max_pending`` applies backpressure: ``submit`` blocks (or raises
+  :class:`ServiceOverloadedError` with ``block=False``) while the queue is
+  full.
+* ``close(drain=True)`` stops admission, lets the scheduler work off the
+  queue, then joins the thread and the worker pool — no orphaned workers.
+  ``close(drain=False)`` fails queued-but-undispatched tickets with
+  :class:`ServiceClosedError`; the batch already in flight still resolves.
+
+>>> from repro.graph.generators import paper_example_graph
+>>> from repro.queries.query import HCSTQuery
+>>> with serve(paper_example_graph(), algorithm="batch+") as service:
+...     ticket = service.submit(HCSTQuery(0, 11, 5))
+...     len(ticket.result(timeout=30.0))
+3
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence
+
+from repro.batch.engine import BatchQueryEngine
+from repro.batch.planner import CostModel, NumWorkers, QueryPlanner
+from repro.batch.results import SharingStats
+from repro.enumeration.paths import Path
+from repro.graph.digraph import DiGraph
+from repro.queries.query import HCSTQuery
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.executor import WorkerPool
+
+
+class ServiceClosedError(RuntimeError):
+    """The service no longer accepts queries (``close`` was called)."""
+
+
+class ServiceOverloadedError(RuntimeError):
+    """``submit(block=False)`` found the pending queue at ``max_pending``."""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs governing how arrivals are grouped into micro-batches.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Dispatch a micro-batch as soon as this many queries are waiting
+        (``1`` degenerates to one-query-per-batch serving).
+    max_delay_s:
+        Dispatch at most this long after a batch's first query arrived,
+        even if the batch is not full — bounds added ticket latency.
+    max_pending:
+        Backpressure bound on queued-but-undispatched queries; ``submit``
+        blocks (or raises with ``block=False``) beyond it.
+    join_pending:
+        Enable the join-pending-cluster fast path.
+    join_similarity:
+        Minimum planner similarity µ for an arrival to join the
+        not-yet-dispatched batch past the size/deadline cut.  ``1.0``
+        effectively restricts joining to duplicate-neighbourhood queries;
+        lower values merge more aggressively.
+    join_limit:
+        Cap on fast-path joins per batch (``None`` → ``max_batch_size``),
+        so one popular region cannot grow a batch without bound.
+    join_scan_limit:
+        Cap on queued *candidates examined* per batch by the fast path.
+        Scoring a candidate costs up to two k-hop BFS traversals on a cold
+        memo, so scanning an entire deep queue would stall a batch that is
+        already past its deadline — the scan stops after this many
+        candidates regardless of how few joined.
+    """
+
+    max_batch_size: int = 32
+    max_delay_s: float = 0.02
+    max_pending: int = 1024
+    join_pending: bool = True
+    join_similarity: float = 0.6
+    join_limit: Optional[int] = None
+    join_scan_limit: int = 64
+
+    def __post_init__(self) -> None:
+        require(self.max_batch_size >= 1, "max_batch_size must be >= 1")
+        require(self.max_delay_s >= 0.0, "max_delay_s must be >= 0")
+        require(self.max_pending >= 1, "max_pending must be >= 1")
+        require(
+            0.0 <= self.join_similarity <= 1.0,
+            "join_similarity must be within [0, 1]",
+        )
+        require(
+            self.join_limit is None or self.join_limit >= 0,
+            "join_limit must be None or >= 0",
+        )
+        require(self.join_scan_limit >= 0, "join_scan_limit must be >= 0")
+
+    @property
+    def effective_join_limit(self) -> int:
+        return (
+            self.max_batch_size if self.join_limit is None else self.join_limit
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time snapshot of a service's counters.
+
+    ``mean_batch_size`` > 1 is micro-batching actually happening;
+    ``sharing`` accumulates the per-batch :class:`SharingStats`, so
+    ``sharing.cache_reuse_count`` > 0 means cross-query sharing survived
+    the move from closed batches to continuous ingestion.
+    """
+
+    admitted: int
+    completed: int
+    failed: int
+    pending: int
+    batches_dispatched: int
+    joined_fast_path: int
+    mean_batch_size: float
+    mean_ticket_latency_s: float
+    sharing: SharingStats
+
+
+class QueryTicket:
+    """Handle for one submitted query.
+
+    Resolution is edge-triggered through a :class:`threading.Event`; the
+    ticket is resolved exactly once, either with the query's paths or with
+    the exception that killed its micro-batch.
+    """
+
+    __slots__ = ("query", "submitted_at", "enqueued_at", "resolved_at",
+                 "_event", "_paths", "_error")
+
+    def __init__(self, query: HCSTQuery) -> None:
+        self.query = query
+        self.submitted_at = time.perf_counter()
+        #: Monotonic enqueue stamp — anchors the scheduler's delay window
+        #: (a batch dispatches at most ``max_delay_s`` after *this*, not
+        #: after the scheduler got around to collecting).
+        self.enqueued_at = time.monotonic()
+        self.resolved_at: Optional[float] = None
+        self._event = threading.Event()
+        self._paths: Optional[List[Path]] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """True once the ticket has resolved (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> List[Path]:
+        """Block until resolution and return the query's paths.
+
+        Raises ``TimeoutError`` if the ticket has not resolved within
+        ``timeout`` seconds, or re-raises the exception that failed the
+        ticket's micro-batch.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"ticket for {self.query} unresolved after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._paths is not None
+        return list(self._paths)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-resolution latency (None while unresolved)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.submitted_at
+
+    def _resolve(self, paths: List[Path]) -> None:
+        self._paths = paths
+        self.resolved_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.resolved_at = time.perf_counter()
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.done()
+            else ("failed" if self._error is not None else "resolved")
+        )
+        return f"QueryTicket({self.query}, {state})"
+
+
+class IngestionService:
+    """Micro-batch scheduler serving a continuous query stream.
+
+    Parameters mirror :class:`BatchQueryEngine` (``graph``, ``algorithm``,
+    ``gamma``, ``num_workers``, ``cost_model``, ``max_workers``) plus the
+    :class:`AdmissionPolicy`.  The scheduler thread starts immediately
+    unless ``start=False`` (tests use a stopped service to exercise
+    backpressure deterministically).  Use as a context manager for a
+    drain-then-join shutdown.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        algorithm: str = "batch+",
+        gamma: float = 0.5,
+        num_workers: NumWorkers = "auto",
+        policy: Optional[AdmissionPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+        max_workers: Optional[int] = None,
+        start: bool = True,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._engine = BatchQueryEngine(
+            graph,
+            algorithm=algorithm,
+            gamma=gamma,
+            num_workers=num_workers,
+            cost_model=cost_model,
+            max_workers=max_workers,
+        )
+        # One planner serves both admission scoring (its neighbourhood memo
+        # pays off under repeated endpoints) and per-batch planning.
+        self._planner = QueryPlanner(
+            graph,
+            algorithm=algorithm,
+            gamma=gamma,
+            cost_model=cost_model,
+            max_workers=max_workers,
+        )
+        self._num_workers = self._engine.num_workers
+        self._lock = threading.Condition()
+        self._pending: Deque[QueryTicket] = deque()
+        self._closing = False
+        self._drain_on_close = True
+        self._thread: Optional[threading.Thread] = None
+        self._pool: "WorkerPool | None" = None
+        # Counters (guarded by self._lock).
+        self._admitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._batches_dispatched = 0
+        self._batched_total = 0
+        self._joined_fast_path = 0
+        self._latency_total_s = 0.0
+        self._sharing = SharingStats()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> DiGraph:
+        return self._engine.graph
+
+    @property
+    def algorithm(self) -> str:
+        return self._engine.algorithm
+
+    def start(self) -> "IngestionService":
+        """Start the scheduler thread (idempotent; raises after close)."""
+        with self._lock:
+            require(not self._closing, "service is closed", ServiceClosedError)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._scheduler_loop,
+                    name="repro-ingestion-scheduler",
+                    daemon=True,
+                )
+                self._thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission and shut the scheduler down (idempotent).
+
+        With ``drain=True`` (default) queued queries are still served
+        before the scheduler exits; with ``drain=False`` queued tickets
+        fail with :class:`ServiceClosedError` (the micro-batch already in
+        flight, if any, resolves normally either way).  Blocks until the
+        scheduler thread and the worker pool are joined (bounded by
+        ``timeout`` on the thread join).
+        """
+        with self._lock:
+            self._closing = True
+            self._drain_on_close = drain
+            thread = self._thread
+            self._lock.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+        else:
+            # Never started: no thread will ever serve the queue.
+            self._fail_pending(ServiceClosedError("service closed unstarted"))
+            self._shutdown_pool()
+
+    def __enter__(self) -> "IngestionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query: HCSTQuery,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> QueryTicket:
+        """Enqueue ``query`` and return its :class:`QueryTicket`.
+
+        Applies the policy's ``max_pending`` backpressure: when the queue
+        is full, ``block=True`` waits for space (``TimeoutError`` after
+        ``timeout`` seconds) and ``block=False`` raises
+        :class:`ServiceOverloadedError` immediately.  Raises
+        :class:`ServiceClosedError` once the service is closing.
+        """
+        require(
+            isinstance(query, HCSTQuery),
+            f"submit expects an HCSTQuery, got {type(query).__name__}",
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                require(
+                    not self._closing, "service is closed", ServiceClosedError
+                )
+                if len(self._pending) < self.policy.max_pending:
+                    break
+                require(
+                    block,
+                    f"pending queue is full ({self.policy.max_pending})",
+                    ServiceOverloadedError,
+                )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        "timed out waiting for pending-queue space"
+                    )
+                self._lock.wait(remaining)
+            ticket = QueryTicket(query)
+            self._pending.append(ticket)
+            self._admitted += 1
+            self._lock.notify_all()
+        return ticket
+
+    def submit_many(
+        self, queries: Sequence[HCSTQuery], block: bool = True
+    ) -> List[QueryTicket]:
+        """Submit ``queries`` in order, returning one ticket each."""
+        return [self.submit(query, block=block) for query in queries]
+
+    def stats(self) -> ServiceStats:
+        """Consistent point-in-time :class:`ServiceStats` snapshot."""
+        with self._lock:
+            resolved = self._completed + self._failed
+            sharing = SharingStats()
+            sharing.merge(self._sharing)
+            return ServiceStats(
+                admitted=self._admitted,
+                completed=self._completed,
+                failed=self._failed,
+                pending=len(self._pending),
+                batches_dispatched=self._batches_dispatched,
+                joined_fast_path=self._joined_fast_path,
+                mean_batch_size=(
+                    self._batched_total / self._batches_dispatched
+                    if self._batches_dispatched
+                    else 0.0
+                ),
+                mean_ticket_latency_s=(
+                    self._latency_total_s / resolved if resolved else 0.0
+                ),
+                sharing=sharing,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scheduler internals (single background thread)
+    # ------------------------------------------------------------------ #
+    def _scheduler_loop(self) -> None:
+        try:
+            while True:
+                batch = self._collect_batch()
+                if batch is None:
+                    break
+                self._dispatch(batch)
+        finally:
+            # Runs on normal shutdown AND if the loop ever dies
+            # unexpectedly: queued tickets must never hang forever and the
+            # worker pool must never be orphaned.
+            self._fail_pending(
+                ServiceClosedError("service closed without drain")
+            )
+            self._shutdown_pool()
+
+    def _collect_batch(self) -> Optional[List[QueryTicket]]:
+        """Block until a micro-batch is due, pop and return it.
+
+        Returns ``None`` when the scheduler should exit: the service is
+        closing and either the queue is empty or draining was declined.
+        """
+        policy = self.policy
+        with self._lock:
+            while not self._pending and not self._closing:
+                self._lock.wait()
+            if not self._pending or (self._closing and not self._drain_on_close):
+                return None
+            # The first waiting query's *arrival* anchors the delay window
+            # (if a long dispatch kept the scheduler busy past it, the
+            # batch goes out immediately); arrivals keep joining until the
+            # batch is full or the window closes.  A closing service
+            # dispatches immediately (drain fast).
+            deadline = self._pending[0].enqueued_at + policy.max_delay_s
+            while (
+                len(self._pending) < policy.max_batch_size
+                and not self._closing
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._lock.wait(remaining)
+            if self._closing and not self._drain_on_close:
+                # close(drain=False) landed during the delay window: these
+                # queries were never in flight, so they must fail, not run.
+                return None
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(policy.max_batch_size, len(self._pending)))
+            ]
+            candidates = (
+                [
+                    ticket
+                    for ticket, _ in zip(
+                        self._pending, range(policy.join_scan_limit)
+                    )
+                ]
+                if policy.join_pending and not self._closing
+                else []
+            )
+            self._lock.notify_all()  # space freed: wake blocked submitters
+        joined = self._join_pending_cluster(batch, candidates)
+        if joined:
+            with self._lock:
+                for ticket in joined:
+                    self._pending.remove(ticket)
+                self._joined_fast_path += len(joined)
+                batch.extend(joined)
+                self._lock.notify_all()
+        return batch
+
+    def _join_pending_cluster(
+        self, batch: List[QueryTicket], candidates: List[QueryTicket]
+    ) -> List[QueryTicket]:
+        """The fast path: pick queued queries whose similarity to the
+        not-yet-dispatched batch clears the policy threshold.
+
+        Scoring runs outside the lock (a k-hop BFS per novel endpoint);
+        that is safe because this scheduler thread is the only consumer of
+        the queue — a scored candidate can be admitted by no one else.
+        """
+        policy = self.policy
+        budget = policy.effective_join_limit
+        if not candidates or budget <= 0:
+            return []
+        batch_queries = [ticket.query for ticket in batch]
+        joined: List[QueryTicket] = []
+        for ticket in candidates:
+            if len(joined) >= budget:
+                break
+            try:
+                score = self._planner.admission_score(
+                    ticket.query, batch_queries
+                )
+            except Exception:
+                # An unscorable query (e.g. endpoints outside the graph)
+                # must not kill the scheduler: leave it queued — it will
+                # fail inside its own batch, resolving its ticket with the
+                # real error.
+                continue
+            if score >= policy.join_similarity:
+                joined.append(ticket)
+                batch_queries.append(ticket.query)
+        return joined
+
+    def _dispatch(self, batch: List[QueryTicket]) -> None:
+        """Run one micro-batch through plan→execute, resolving tickets as
+        positions flush (``ordered=False``: first completion wins)."""
+        queries = [ticket.query for ticket in batch]
+        resolved = 0
+        latency_sum = 0.0
+        try:
+            if (
+                self._pool is not None
+                and self._pool.graph_version != self.graph.version
+            ):
+                # The graph mutated since the pool spawned; its workers
+                # hold a stale pickled copy, so recycle it — the next
+                # parallel plan respawns against the current snapshot.
+                self._shutdown_pool()
+            # Plan as if the pool were already up even before the first
+            # spawn: for a long-running service the spawn is a one-time
+            # cost amortized over every later micro-batch, so charging it
+            # to each plan would keep "auto" sequential forever (the pool
+            # only exists once a plan goes parallel — a chicken-and-egg
+            # the one-shot engine path does not have).
+            plan = self._planner.plan(
+                queries, num_workers=self._num_workers, pool_ready=True
+            )
+            if plan.num_workers > 1 and self._pool is None:
+                # First parallel plan: open the persistent pool every later
+                # micro-batch will reuse (spawn is paid exactly once).
+                # Sized at the planner's max_workers — the ceiling every
+                # "auto" resolution obeys (an explicit larger num_workers
+                # is honoured too) — so a later, larger batch's plan can
+                # never assume more parallelism than the pool has.
+                self._pool = self._engine.create_pool(
+                    max_workers=max(
+                        2, self._planner.max_workers, plan.num_workers
+                    )
+                )
+            stream = self._engine.stream_planned(
+                queries, plan, ordered=False, pool=self._pool
+            )
+            while True:
+                try:
+                    position, paths = next(stream)
+                except StopIteration as stop:
+                    result = stop.value
+                    break
+                batch[position]._resolve(paths)
+                latency = batch[position].latency_s
+                latency_sum += latency if latency is not None else 0.0
+                resolved += 1
+            with self._lock:
+                self._completed += resolved
+                self._batches_dispatched += 1
+                self._batched_total += len(batch)
+                self._latency_total_s += latency_sum
+                self._sharing.merge(result.sharing)
+        except BaseException as error:  # noqa: BLE001 - forwarded to tickets
+            failed = 0
+            for ticket in batch:
+                if not ticket.done():
+                    ticket._fail(error)
+                    latency = ticket.latency_s
+                    latency_sum += latency if latency is not None else 0.0
+                    failed += 1
+            with self._lock:
+                self._completed += resolved
+                self._failed += failed
+                self._batches_dispatched += 1
+                self._batched_total += len(batch)
+                self._latency_total_s += latency_sum
+            # The scheduler itself survives a poisoned batch and keeps
+            # serving subsequent micro-batches.
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._lock:
+            abandoned = list(self._pending)
+            self._pending.clear()
+            self._lock.notify_all()
+        latency_sum = 0.0
+        for ticket in abandoned:
+            ticket._fail(error)
+            latency = ticket.latency_s
+            latency_sum += latency if latency is not None else 0.0
+        with self._lock:
+            # Failed tickets enter the mean-latency denominator, so their
+            # queue time must enter the numerator too.
+            self._failed += len(abandoned)
+            self._latency_total_s += latency_sum
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        with self._lock:
+            state = "closing" if self._closing else "open"
+            return (
+                f"IngestionService({self.algorithm!r}, {state}, "
+                f"pending={len(self._pending)}, admitted={self._admitted})"
+            )
+
+
+def serve(
+    graph: DiGraph,
+    algorithm: str = "batch+",
+    gamma: float = 0.5,
+    num_workers: NumWorkers = "auto",
+    max_batch_size: int = 32,
+    max_delay_s: float = 0.02,
+    max_pending: int = 1024,
+    join_similarity: float = 0.6,
+    join_pending: bool = True,
+    cost_model: Optional[CostModel] = None,
+    max_workers: Optional[int] = None,
+) -> IngestionService:
+    """Start an :class:`IngestionService` in one call.
+
+    The admission-policy knobs are accepted flat; pass an explicit
+    :class:`AdmissionPolicy` to the class constructor for the full set.
+
+    >>> from repro.graph.generators import paper_example_graph
+    >>> from repro.queries.query import HCSTQuery
+    >>> with serve(paper_example_graph()) as service:
+    ...     tickets = service.submit_many(
+    ...         [HCSTQuery(0, 11, 5), HCSTQuery(2, 13, 5)]
+    ...     )
+    ...     [len(t.result(timeout=30.0)) for t in tickets]
+    [3, 3]
+    """
+    policy = AdmissionPolicy(
+        max_batch_size=max_batch_size,
+        max_delay_s=max_delay_s,
+        max_pending=max_pending,
+        join_similarity=join_similarity,
+        join_pending=join_pending,
+    )
+    return IngestionService(
+        graph,
+        algorithm=algorithm,
+        gamma=gamma,
+        num_workers=num_workers,
+        policy=policy,
+        cost_model=cost_model,
+        max_workers=max_workers,
+        start=True,
+    )

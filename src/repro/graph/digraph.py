@@ -108,6 +108,18 @@ class DiGraph:
     # Accessors
     # ------------------------------------------------------------------ #
     @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Incremented by every structural change (``add_edge``,
+        ``add_vertex``, bulk construction).  Long-running consumers — the
+        streaming engine and the ingestion service — pin this value when
+        they take a CSR snapshot and refuse to keep serving results if the
+        graph moves underneath them.
+        """
+        return self._version
+
+    @property
     def num_vertices(self) -> int:
         return len(self._out)
 

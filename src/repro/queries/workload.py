@@ -38,6 +38,13 @@ class QueryWorkload:
         self.graph = graph
         self.queries: List[HCSTQuery] = list(queries)
         self.stage_timer = stage_timer if stage_timer is not None else StageTimer()
+        # The queries are fixed after construction, so the batch-wide
+        # aggregates are computed once here instead of on every property
+        # access — the planner's cost loop and the clustering stage read
+        # them repeatedly.
+        self.max_hop_constraint: int = max(query.k for query in self.queries)
+        self.sources: List[int] = sorted({query.s for query in self.queries})
+        self.targets: List[int] = sorted({query.t for query in self.queries})
         if index is not None:
             # A prebuilt (possibly shipped-from-parent) index is accepted as
             # long as it covers every query; a covering superset prunes
@@ -58,18 +65,6 @@ class QueryWorkload:
     # ------------------------------------------------------------------ #
     # Shared artefacts
     # ------------------------------------------------------------------ #
-    @property
-    def max_hop_constraint(self) -> int:
-        return max(query.k for query in self.queries)
-
-    @property
-    def sources(self) -> List[int]:
-        return sorted({query.s for query in self.queries})
-
-    @property
-    def targets(self) -> List[int]:
-        return sorted({query.t for query in self.queries})
-
     @property
     def index(self) -> CSRDistanceIndex:
         """The batch distance index, built on first access ("BuildIndex")."""

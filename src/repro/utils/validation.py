@@ -11,10 +11,13 @@ from __future__ import annotations
 from typing import Any
 
 
-def require(condition: bool, message: str) -> None:
-    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+def require(
+    condition: bool, message: str, exception: type = ValueError
+) -> None:
+    """Raise ``exception(message)`` (``ValueError`` by default) unless
+    ``condition`` holds."""
     if not condition:
-        raise ValueError(message)
+        raise exception(message)
 
 
 def require_non_negative(value: Any, name: str) -> int:

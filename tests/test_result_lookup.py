@@ -1,0 +1,102 @@
+"""Regression tests for result lookup and workload aggregate caching.
+
+Covers two bugfixes:
+
+* ``BatchResult.paths(query)`` used to rescan the whole batch per call and
+  ``counts()`` re-copied every path list; both now go through a lazily
+  built query → positions map / the raw storage.  Duplicate queries in one
+  batch must each keep their own per-position answer.
+* ``QueryWorkload.max_hop_constraint`` / ``sources`` / ``targets`` used to
+  recompute full passes over the query list on every property access; they
+  are now fixed at construction.
+"""
+
+import pytest
+
+from repro.batch.engine import BatchQueryEngine
+from repro.batch.results import BatchResult
+from repro.graph.generators import paper_example_graph, random_directed_gnm
+from repro.queries.generation import generate_random_queries
+from repro.queries.query import HCSTQuery
+from repro.queries.workload import QueryWorkload
+
+
+# --------------------------------------------------------------------- #
+# BatchResult: query → positions map
+# --------------------------------------------------------------------- #
+def test_duplicate_queries_get_per_position_answers():
+    graph = paper_example_graph()
+    query = HCSTQuery(0, 11, 5)
+    other = HCSTQuery(2, 13, 5)
+    batch = [query, other, query, query]
+    result = BatchQueryEngine(graph, algorithm="batch+").run(batch)
+    assert result.positions_of(query) == (0, 2, 3)
+    assert result.positions_of(other) == (1,)
+    # Every duplicate position carries its own (identical) answer.
+    reference = result.paths_at(0)
+    assert reference  # non-empty on the paper's example
+    for position in result.positions_of(query):
+        assert result.paths_at(position) == reference
+    assert result.paths(query) == reference
+
+
+def test_positions_map_is_built_once_and_reused():
+    result = BatchResult(queries=[HCSTQuery(0, 1, 2), HCSTQuery(1, 2, 2)])
+    result.record(0, [])
+    result.record(1, [])
+    assert result._positions_by_query is None  # lazy until first lookup
+    result.paths(HCSTQuery(0, 1, 2))
+    mapping = result._positions_by_query
+    assert mapping is not None
+    result.paths(HCSTQuery(1, 2, 2))
+    assert result._positions_by_query is mapping  # no rebuild per call
+
+
+def test_paths_of_unknown_query_raises_keyerror():
+    result = BatchResult(queries=[HCSTQuery(0, 1, 2)])
+    result.record(0, [])
+    with pytest.raises(KeyError):
+        result.paths(HCSTQuery(5, 6, 2))
+    with pytest.raises(KeyError):
+        result.positions_of(HCSTQuery(5, 6, 2))
+
+
+def test_counts_match_paths_at_without_copying_storage():
+    graph = random_directed_gnm(20, 70, seed=11)
+    queries = generate_random_queries(graph, 5, min_k=2, max_k=4, seed=11)
+    result = BatchQueryEngine(graph, algorithm="basic+").run(queries)
+    assert result.counts() == [
+        len(result.paths_at(position)) for position in range(len(queries))
+    ]
+    # paths_at still hands out defensive copies...
+    result.paths_at(0).append("sentinel")
+    assert "sentinel" not in result.paths_at(0)
+    # ...and counts() reads the raw storage without perturbing it.
+    assert result.counts() == [
+        len(result.paths_by_position.get(p, [])) for p in range(len(queries))
+    ]
+
+
+# --------------------------------------------------------------------- #
+# QueryWorkload: aggregates fixed at construction
+# --------------------------------------------------------------------- #
+def test_workload_aggregates_cached_at_construction():
+    graph = random_directed_gnm(20, 70, seed=12)
+    queries = [HCSTQuery(0, 5, 3), HCSTQuery(2, 5, 6), HCSTQuery(0, 7, 4)]
+    workload = QueryWorkload(graph, queries)
+    assert workload.max_hop_constraint == 6
+    assert workload.sources == [0, 2]
+    assert workload.targets == [5, 7]
+    # Same object on every access — computed once, not per read.
+    assert workload.sources is workload.sources
+    assert workload.targets is workload.targets
+
+
+def test_workload_prebuilt_index_check_still_enforced():
+    """The construction-time cache must not break the covering check for
+    prebuilt (shipped) indexes."""
+    graph = random_directed_gnm(20, 70, seed=13)
+    small = QueryWorkload(graph, [HCSTQuery(0, 5, 2)])
+    small_index = small.index
+    with pytest.raises(ValueError):
+        QueryWorkload(graph, [HCSTQuery(0, 5, 9)], index=small_index)

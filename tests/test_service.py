@@ -1,0 +1,455 @@
+"""Differential and lifecycle tests for the continuous-ingestion service.
+
+The contract under test: queries trickled through an
+:class:`IngestionService` — one at a time, in bursts, or concurrently from
+multiple submitter threads — resolve to path lists identical to a single
+closed-batch ``engine.run()`` over the same queries, for every algorithm
+and worker setting; plus ticket-error propagation, backpressure and
+``close()`` semantics.
+"""
+
+import threading
+
+import pytest
+
+from repro.batch.engine import ALGORITHMS, BatchQueryEngine
+from repro.batch.service import (
+    AdmissionPolicy,
+    IngestionService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    serve,
+)
+from repro.enumeration.paths import sort_paths
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+from repro.queries.query import HCSTQuery
+
+#: Generous per-ticket timeout: a deadlocked scheduler fails the test
+#: instead of hanging the suite.
+TIMEOUT = 60.0
+
+
+def canon(paths):
+    """Canonical path-set form: micro-batch composition may legally change
+    the enumeration *order* of one query's paths (the search-order
+    optimiser and the sharing context see a different workload than the
+    closed-batch oracle), but never the set."""
+    return sort_paths(list(paths))
+
+_GRAPH = random_directed_gnm(24, 80, seed=7)
+_QUERIES = generate_random_queries(_GRAPH, 6, min_k=2, max_k=4, seed=7)
+
+_REFERENCE = {}
+
+
+def _reference(algorithm):
+    if algorithm not in _REFERENCE:
+        _REFERENCE[algorithm] = BatchQueryEngine(
+            _GRAPH, algorithm=algorithm
+        ).run(_QUERIES)
+    return _REFERENCE[algorithm]
+
+
+# --------------------------------------------------------------------- #
+# Differential suite: service ≡ closed-batch run()
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("num_workers", [1, "auto"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_trickled_service_matches_closed_batch(algorithm, num_workers):
+    """One-at-a-time submission across all 7 algorithms × workers."""
+    with serve(
+        _GRAPH,
+        algorithm=algorithm,
+        num_workers=num_workers,
+        max_batch_size=3,
+        max_delay_s=0.005,
+    ) as service:
+        tickets = [service.submit(query) for query in _QUERIES]
+        for position, ticket in enumerate(tickets):
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                _reference(algorithm).paths_at(position)
+            )
+    stats = service.stats()
+    assert stats.admitted == len(_QUERIES)
+    assert stats.completed == len(_QUERIES)
+    assert stats.failed == 0
+    assert stats.batches_dispatched >= 1
+    assert stats.mean_batch_size > 0
+
+
+@pytest.mark.parametrize("algorithm", ["basic+", "batch+"])
+def test_concurrent_submitters_match_closed_batch(algorithm):
+    """Multiple threads hammering submit() still get per-query answers
+    identical to the closed-batch oracle."""
+    graph = random_directed_gnm(30, 110, seed=3)
+    queries = generate_random_queries(graph, 12, min_k=2, max_k=4, seed=3)
+    oracle = BatchQueryEngine(graph, algorithm=algorithm).run(queries)
+    results = {}
+    errors = []
+
+    with serve(
+        graph, algorithm=algorithm, max_batch_size=4, max_delay_s=0.01
+    ) as service:
+
+        def submitter(positions):
+            try:
+                for position in positions:
+                    ticket = service.submit(queries[position])
+                    results[position] = canon(ticket.result(timeout=TIMEOUT))
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=submitter, args=(range(i, 12, 3),))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(TIMEOUT)
+    assert not errors
+    assert results == {
+        position: canon(paths)
+        for position, paths in oracle.paths_by_position.items()
+    }
+
+
+def test_duplicate_queries_each_get_their_own_ticket():
+    query = _QUERIES[0]
+    with serve(_GRAPH, algorithm="batch+") as service:
+        tickets = service.submit_many([query, query, query])
+        answers = [ticket.result(timeout=TIMEOUT) for ticket in tickets]
+    assert answers[0] == answers[1] == answers[2]
+    assert canon(answers[0]) == canon(_reference("batch+").paths_at(0))
+
+
+def test_forced_parallel_service_reuses_one_pool_across_micro_batches():
+    graph = random_directed_gnm(30, 110, seed=5)
+    queries = generate_random_queries(graph, 12, min_k=2, max_k=4, seed=5)
+    oracle = BatchQueryEngine(graph, algorithm="batch+").run(queries)
+    service = IngestionService(
+        graph,
+        algorithm="batch+",
+        num_workers=2,
+        policy=AdmissionPolicy(
+            max_batch_size=4, max_delay_s=0.005, join_pending=False
+        ),
+    )
+    try:
+        first = service.submit_many(queries[:6])
+        for position, ticket in enumerate(first):
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                oracle.paths_at(position)
+            )
+        pool_after_first = service._pool
+        assert pool_after_first is not None  # parallel plan opened the pool
+        second = service.submit_many(queries[6:])
+        for offset, ticket in enumerate(second):
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                oracle.paths_at(6 + offset)
+            )
+        assert service._pool is pool_after_first  # reused, not respawned
+        assert service.stats().batches_dispatched >= 2
+    finally:
+        service.close()
+
+
+def test_join_pending_fast_path_merges_similar_queries():
+    """Identical queries queued behind a full batch join it via the
+    similarity fast path (µ = 1 for identical neighbourhoods)."""
+    query = _QUERIES[0]
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(
+            max_batch_size=2, max_delay_s=0.01, join_similarity=0.99
+        ),
+        start=False,
+    )
+    # Queue four identical queries while the scheduler is stopped: the
+    # first two fill the batch, the other two can only ride along through
+    # the join-pending fast path.
+    tickets = service.submit_many([query] * 4)
+    service.start()
+    try:
+        for ticket in tickets:
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                _reference("batch+").paths_at(0)
+            )
+        stats = service.stats()
+        assert stats.joined_fast_path >= 2
+        assert stats.batches_dispatched == 1
+        assert stats.mean_batch_size == 4.0
+    finally:
+        service.close()
+
+
+def test_graph_mutation_between_micro_batches_recycles_stale_pool():
+    """Workers hold a pickled graph copy; after an in-place mutation the
+    service must respawn the pool against the new snapshot, not silently
+    keep serving from the stale one."""
+    graph = random_directed_gnm(30, 110, seed=6)
+    queries = generate_random_queries(graph, 6, min_k=2, max_k=4, seed=6)
+    service = IngestionService(
+        graph,
+        algorithm="batch+",
+        num_workers=2,
+        policy=AdmissionPolicy(max_batch_size=6, max_delay_s=0.005),
+    )
+    try:
+        for ticket in service.submit_many(queries):
+            ticket.result(timeout=TIMEOUT)
+        stale_pool = service._pool
+        assert stale_pool is not None
+        # Mutate: add an edge that creates new paths for the queries.
+        for u in graph.vertices():
+            for v in graph.vertices():
+                if u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    break
+            else:
+                continue
+            break
+        oracle = BatchQueryEngine(graph, algorithm="batch+").run(queries)
+        tickets = service.submit_many(queries)
+        for position, ticket in enumerate(tickets):
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                oracle.paths_at(position)
+            )
+        assert service._pool is not stale_pool  # recycled, not reused stale
+    finally:
+        service.close()
+
+
+def test_unscorable_query_behind_batch_cut_does_not_kill_scheduler():
+    """A query with out-of-graph endpoints sitting beyond the batch cut is
+    hit by the admission scorer first; scoring must skip it (it then fails
+    inside its own batch) instead of killing the scheduler thread."""
+    poisoned = HCSTQuery(0, _GRAPH.num_vertices + 7, 3)
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(
+            max_batch_size=2, max_delay_s=0.01, join_similarity=0.0
+        ),
+        start=False,
+    )
+    tickets = service.submit_many(_QUERIES[:2] + [poisoned] + _QUERIES[2:4])
+    service.start()
+    try:
+        with pytest.raises(ValueError):
+            tickets[2].result(timeout=TIMEOUT)
+        for index in (0, 1, 3, 4):
+            assert tickets[index].result(timeout=TIMEOUT) is not None
+    finally:
+        service.close()
+
+
+def test_close_without_drain_during_delay_window_fails_queued_tickets():
+    """close(drain=False) while the scheduler sits in the batching delay
+    window must fail the queued tickets, not dispatch them anyway."""
+    import time as _time
+
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(max_batch_size=64, max_delay_s=30.0),
+    )
+    tickets = service.submit_many(_QUERIES)
+    _time.sleep(0.1)  # let the scheduler enter the delay window
+    service.close(drain=False)
+    for ticket in tickets:
+        assert ticket.done()
+        with pytest.raises(ServiceClosedError):
+            ticket.result(timeout=0.0)
+
+
+def test_stream_parallel_rejects_stale_pool():
+    """Engine-level pools are caller-owned: a plan built after a graph
+    mutation must refuse a pool spawned before it."""
+    graph = random_directed_gnm(20, 70, seed=8)
+    queries = generate_random_queries(graph, 6, min_k=2, max_k=3, seed=8)
+    engine = BatchQueryEngine(graph, algorithm="basic", num_workers=2)
+    pool = engine.create_pool(max_workers=2)
+    try:
+        assert dict(engine.stream(queries, ordered=True, pool=pool)) == dict(
+            engine.stream(queries, ordered=True)
+        )
+        graph.add_edge(*[
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.vertices()
+            if u != v and not graph.has_edge(u, v)
+        ][0])
+        with pytest.raises(RuntimeError, match="open a fresh pool"):
+            list(engine.stream(queries, ordered=True, pool=pool))
+    finally:
+        pool.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Error propagation and lifecycle
+# --------------------------------------------------------------------- #
+def test_ticket_error_propagation_and_scheduler_survival():
+    """A query that fails inside its micro-batch resolves its ticket with
+    the exception; the scheduler keeps serving later submissions."""
+    graph = random_directed_gnm(12, 40, seed=1)
+    good = generate_random_queries(graph, 2, min_k=2, max_k=3, seed=1)
+    poisoned = HCSTQuery(0, graph.num_vertices + 7, 3)
+    with serve(
+        graph, algorithm="onepass", max_batch_size=1, max_delay_s=0.0
+    ) as service:
+        bad_ticket = service.submit(poisoned)
+        with pytest.raises(ValueError):
+            bad_ticket.result(timeout=TIMEOUT)
+        assert bad_ticket.done()
+        # The scheduler survived: later queries are still answered.
+        oracle = BatchQueryEngine(graph, algorithm="onepass").run(good)
+        tickets = service.submit_many(good)
+        for position, ticket in enumerate(tickets):
+            assert canon(ticket.result(timeout=TIMEOUT)) == canon(
+                oracle.paths_at(position)
+            )
+        stats = service.stats()
+        assert stats.failed == 1
+        assert stats.completed == len(good)
+
+
+def test_batch_peers_of_a_poisoned_query_share_its_error():
+    """With the poisoned query inside a shared micro-batch, unresolved
+    batch peers receive the same exception instead of hanging."""
+    graph = random_directed_gnm(12, 40, seed=2)
+    poisoned = HCSTQuery(0, graph.num_vertices + 7, 3)
+    service = IngestionService(
+        graph,
+        algorithm="basic",
+        policy=AdmissionPolicy(max_batch_size=4, max_delay_s=0.01),
+        start=False,
+    )
+    tickets = service.submit_many(
+        [poisoned] + generate_random_queries(graph, 2, min_k=2, max_k=3, seed=2)
+    )
+    service.start()
+    try:
+        for ticket in tickets:
+            with pytest.raises(ValueError):
+                ticket.result(timeout=TIMEOUT)
+    finally:
+        service.close()
+
+
+def test_close_drain_resolves_all_pending_tickets():
+    service = IngestionService(_GRAPH, algorithm="batch+", start=False)
+    tickets = service.submit_many(_QUERIES)
+    service.start()
+    service.close(drain=True)
+    for position, ticket in enumerate(tickets):
+        assert ticket.done()
+        assert canon(ticket.result(timeout=0.0)) == canon(
+            _reference("batch+").paths_at(position)
+        )
+
+
+def test_close_without_drain_fails_queued_tickets():
+    service = IngestionService(_GRAPH, algorithm="batch+", start=False)
+    tickets = service.submit_many(_QUERIES)
+    service.close(drain=False)
+    for ticket in tickets:
+        assert ticket.done()
+        with pytest.raises(ServiceClosedError):
+            ticket.result(timeout=0.0)
+
+
+def test_submit_after_close_raises():
+    service = serve(_GRAPH, algorithm="batch+")
+    service.close()
+    with pytest.raises(ServiceClosedError):
+        service.submit(_QUERIES[0])
+    service.close()  # idempotent
+
+
+def test_backpressure_nonblocking_submit_raises_when_full():
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(max_pending=2),
+        start=False,  # stopped scheduler: the queue genuinely fills up
+    )
+    service.submit_many(_QUERIES[:2])
+    with pytest.raises(ServiceOverloadedError):
+        service.submit(_QUERIES[2], block=False)
+    with pytest.raises(TimeoutError):
+        service.submit(_QUERIES[2], block=True, timeout=0.05)
+    service.close(drain=False)
+
+
+def test_service_stats_snapshot_shape():
+    with serve(_GRAPH, algorithm="batch+") as service:
+        tickets = service.submit_many(_QUERIES)
+        for ticket in tickets:
+            ticket.result(timeout=TIMEOUT)
+        stats = service.stats()
+    assert stats.admitted == len(_QUERIES)
+    assert stats.completed == len(_QUERIES)
+    assert stats.pending == 0
+    assert stats.mean_ticket_latency_s > 0.0
+    assert stats.sharing.num_clusters >= 1
+    # The snapshot is detached: mutating the service later cannot change it.
+    assert stats.admitted == len(_QUERIES)
+
+
+def test_join_scan_limit_zero_disables_fast_path():
+    query = _QUERIES[0]
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(
+            max_batch_size=2,
+            max_delay_s=0.005,
+            join_similarity=0.0,
+            join_scan_limit=0,
+        ),
+        start=False,
+    )
+    tickets = service.submit_many([query] * 4)
+    service.start()
+    try:
+        for ticket in tickets:
+            ticket.result(timeout=TIMEOUT)
+        stats = service.stats()
+        assert stats.joined_fast_path == 0
+        assert stats.batches_dispatched == 2  # no joins: two full batches
+    finally:
+        service.close()
+
+
+def test_admission_neighborhood_cache_is_bounded(monkeypatch):
+    from repro.batch import planner as planner_module
+
+    monkeypatch.setattr(planner_module, "NEIGHBORHOOD_CACHE_LIMIT", 4)
+    planner = planner_module.QueryPlanner(_GRAPH, algorithm="batch+")
+    for query in generate_random_queries(_GRAPH, 10, min_k=2, max_k=4, seed=21):
+        planner.admission_score(query, [_QUERIES[0]])
+    assert len(planner._neighborhood_cache) <= 4
+
+
+def test_failed_ticket_latency_counts_toward_mean():
+    import time as _time
+
+    service = IngestionService(_GRAPH, algorithm="batch+", start=False)
+    service.submit_many(_QUERIES)
+    _time.sleep(0.05)  # queue time the failed tickets must account for
+    service.close(drain=False)
+    stats = service.stats()
+    assert stats.failed == len(_QUERIES)
+    assert stats.mean_ticket_latency_s > 0.0
+
+
+def test_ticket_result_timeout_on_unstarted_service():
+    service = IngestionService(_GRAPH, algorithm="batch+", start=False)
+    ticket = service.submit(_QUERIES[0])
+    assert not ticket.done()
+    with pytest.raises(TimeoutError):
+        ticket.result(timeout=0.05)
+    service.close(drain=False)

@@ -128,6 +128,64 @@ def test_parallel_run_surfaces_worker_error():
         engine.run(queries)
 
 
+# --------------------------------------------------------------------- #
+# Graph-version pinning
+# --------------------------------------------------------------------- #
+def _first_missing_edge(graph):
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u != v and not graph.has_edge(u, v):
+                return u, v
+    raise AssertionError("graph is complete")
+
+
+@pytest.mark.parametrize("num_workers", [1, 2])
+def test_mutating_graph_mid_stream_raises_runtime_error(num_workers):
+    """The CSR snapshot/index/clusters are pinned when the stream starts;
+    an add_edge while it is in flight must surface a clear RuntimeError at
+    the next flush instead of silently mixing snapshots."""
+    graph = random_directed_gnm(16, 50, seed=9)
+    queries = generate_random_queries(graph, 5, min_k=2, max_k=3, seed=9)
+    engine = BatchQueryEngine(
+        graph, algorithm="onepass", num_workers=num_workers
+    )
+    stream = engine.stream(queries, ordered=True)
+    first = next(stream)
+    assert first[0] == 0
+    graph.add_edge(*_first_missing_edge(graph))
+    with pytest.raises(RuntimeError, match="mutated while a stream"):
+        for _ in stream:
+            pass
+
+
+def test_mutation_after_stream_completes_is_allowed():
+    graph = random_directed_gnm(16, 50, seed=10)
+    queries = generate_random_queries(graph, 3, min_k=2, max_k=3, seed=10)
+    engine = BatchQueryEngine(graph, algorithm="batch+")
+    collected = dict(engine.stream(queries, ordered=True))
+    assert len(collected) == len(queries)
+    graph.add_edge(*_first_missing_edge(graph))  # must not raise anywhere
+    # A fresh run plans against the new snapshot without complaint.
+    assert len(engine.run(queries).queries) == len(queries)
+
+
+def test_mutation_during_planning_raises(monkeypatch):
+    from repro.batch import planner as planner_module
+
+    graph = random_directed_gnm(16, 50, seed=11)
+    queries = generate_random_queries(graph, 4, min_k=2, max_k=3, seed=11)
+    original = planner_module.cluster_queries
+
+    def mutate_then_cluster(workload, gamma):
+        graph.add_edge(*_first_missing_edge(graph))
+        return original(workload, gamma)
+
+    monkeypatch.setattr(planner_module, "cluster_queries", mutate_then_cluster)
+    engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=2)
+    with pytest.raises(RuntimeError, match="while the planner"):
+        engine.explain(queries)
+
+
 def test_abandoned_stream_shuts_down_cleanly():
     """Closing a parallel stream mid-drain must not leak worker processes
     or raise: the generator's cleanup cancels pending shards."""
