@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 — no findings; 1 — findings reported; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import (
+    DEFAULT_EXCLUDED_DIRS,
+    all_rules,
+    analyze_paths,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Run the repo's AST invariant rules (RA001-RA005) over Python "
+            "sources and report violations as file:line: RA###: message."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (directories are walked)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all), e.g. RA001,RA004",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help=(
+            "also scan directories excluded by default "
+            f"({', '.join(sorted(DEFAULT_EXCLUDED_DIRS))})"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: provide at least one path to analyze "
+            "(or --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part for part in args.select.split(",") if part.strip()]
+    try:
+        rules = all_rules(select)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    excluded = frozenset() if args.no_default_excludes else DEFAULT_EXCLUDED_DIRS
+    findings = analyze_paths(args.paths, rules=rules, excluded_dirs=excluded)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"{len(findings)} finding(s) across "
+            f"{len({finding.file for finding in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

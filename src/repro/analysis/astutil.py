@@ -1,0 +1,105 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def class_defs(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def methods_of(classdef: ast.ClassDef) -> Iterator[FunctionNode]:
+    """The class's immediate methods (no nested classes/functions)."""
+    for node in classdef.body:
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def is_self_attribute(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def expr_text(node: ast.AST) -> str:
+    """Source-ish text of an expression (best effort, for messages)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we hit
+        return f"<{type(node).__name__}>"
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree without entering nested def/lambda/class.
+
+    The root itself is not yielded; comprehensions are traversed (they do
+    not move code to a later execution time the way a nested function
+    does — their body runs where they appear lexically).
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def assigned_name_pairs(
+    assign: ast.Assign,
+) -> List[Tuple[str, ast.expr]]:
+    """``(name, value expression)`` pairs bound by a simple assignment.
+
+    Handles ``x = expr`` and the pairwise tuple form
+    ``a, b = expr_a, expr_b``; anything fancier yields nothing.
+    """
+    pairs: List[Tuple[str, ast.expr]] = []
+    for target in assign.targets:
+        if isinstance(target, ast.Name):
+            pairs.append((target.id, assign.value))
+        elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            assign.value, (ast.Tuple, ast.List)
+        ):
+            if len(target.elts) == len(assign.value.elts):
+                for element, value in zip(target.elts, assign.value.elts):
+                    if isinstance(element, ast.Name):
+                        pairs.append((element.id, value))
+    return pairs
+
+
+def module_level_callables(tree: ast.Module) -> Set[str]:
+    """Names that resolve to module-level (hence picklable) callables:
+    top-level ``def``/``class`` statements plus every imported name."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, FUNCTION_NODES + (ast.ClassDef,)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def imported_module_names(tree: ast.Module) -> Set[str]:
+    """Top-level names bound to imported *modules* (``import x [as y]``)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names

@@ -1,0 +1,260 @@
+"""AST-based invariant checker: engine, rule registry and reporting.
+
+The repository has a handful of load-bearing conventions that unit tests
+cannot economically cover — lock discipline in the ingestion service,
+snapshot-version pinning for every cached CSR-derived artefact, and
+picklability of everything that crosses the worker-pool boundary.  Each of
+these has already produced a shipped bug class, so they are machine-checked
+on every push by this package instead of being guarded by comments alone.
+
+Architecture
+------------
+* A :class:`Rule` inspects one parsed module (:class:`SourceModule`) and
+  yields :class:`Finding` objects.  Rules are registered with the
+  :func:`register` decorator and identified by a stable ``RA###`` id.
+* :func:`analyze_source` runs every (selected) rule over one source blob
+  and filters findings through the per-line suppression comments.
+* :func:`analyze_paths` maps that over files/directories; directories are
+  walked recursively with a default exclusion list (``__pycache__``, hidden
+  directories and the intentionally-dirty ``analysis_fixtures`` corpus) so
+  a repo-wide scan stays clean while explicitly named files are always
+  scanned.
+
+Suppressions
+------------
+A finding is silenced by a same-line comment::
+
+    return self._rows  # repro: ignore[RA004] -- shared read-only hot-path cache
+
+``# repro: ignore[RA001,RA004]`` silences several rules, a bare
+``# repro: ignore`` silences every rule on that line.  Suppressions should
+carry a justification after the bracket — the scanner does not enforce the
+prose, reviewers do.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+#: Rule id reserved for files the engine itself cannot parse.
+PARSE_ERROR_RULE_ID = "RA000"
+
+#: Directory names skipped when *walking* a directory argument.  Explicitly
+#: named files are always analyzed, which is how the test suite points the
+#: engine at the intentionally-bad fixture corpus.
+DEFAULT_EXCLUDED_DIRS = frozenset({"__pycache__", "analysis_fixtures"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a ``file:line``."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id}: {self.message}"
+
+
+class SourceModule:
+    """A parsed source file plus the metadata rules need.
+
+    ``path`` is kept exactly as the caller supplied it (findings render it
+    verbatim); ``posix_path`` is the forward-slash form rules use for
+    package-scoped behaviour (e.g. RA002 exempts ``repro/graph/``).
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.posix_path = Path(path).as_posix()
+        self.tree = ast.parse(source, filename=path)
+        self._suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(
+        lines: Sequence[str],
+    ) -> Dict[int, Optional[FrozenSet[str]]]:
+        """``{line: suppressed rule ids}``; ``None`` means all rules."""
+        suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                suppressions[lineno] = None
+            else:
+                suppressions[lineno] = frozenset(
+                    part.strip().upper()
+                    for part in ids.split(",")
+                    if part.strip()
+                )
+        return suppressions
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        if line not in self._suppressions:
+            return False
+        ids = self._suppressions[line]
+        return ids is None or rule_id.upper() in ids
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``rule_id`` (stable ``RA###`` identifier) and ``title``
+    (one-line summary shown by ``--list-rules``) and implement
+    :meth:`check`, yielding a :class:`Finding` per violation.  The
+    :meth:`finding` helper anchors a finding to an AST node.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: Union[ast.AST, int], message: str
+    ) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            file=module.path, line=line, rule_id=self.rule_id, message=message
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_class.rule_id
+    if not re.fullmatch(r"RA\d{3}", rule_id):
+        raise ValueError(f"rule id must match RA###, got {rule_id!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate every registered rule (optionally a subset by id)."""
+    _load_builtin_rules()
+    if select is None:
+        ids = sorted(_REGISTRY)
+    else:
+        ids = []
+        for rule_id in select:
+            canonical = rule_id.strip().upper()
+            if canonical not in _REGISTRY:
+                raise KeyError(
+                    f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}"
+                )
+            ids.append(canonical)
+    return [_REGISTRY[rule_id]() for rule_id in ids]
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules exactly once (registration side effect)."""
+    from repro.analysis import (
+        rules_generators,
+        rules_internals,
+        rules_lock,
+        rules_pool,
+        rules_snapshot,
+    )
+
+    # Imported for their @register side effect; referencing them here keeps
+    # the import visibly intentional (and the linter quiet).
+    _ = (rules_generators, rules_internals, rules_lock, rules_pool, rules_snapshot)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one source blob.
+
+    Findings carrying a same-line ``# repro: ignore[...]`` suppression are
+    dropped; the remainder is returned sorted by (file, line, rule).  A
+    file that fails to parse yields a single :data:`PARSE_ERROR_RULE_ID`
+    finding instead of raising — a broken file must fail CI, not crash the
+    analyzer.
+    """
+    if rules is None:
+        rules = all_rules()
+    try:
+        module = SourceModule(path, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                file=path,
+                line=error.lineno or 1,
+                rule_id=PARSE_ERROR_RULE_ID,
+                message=f"could not parse file: {error.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(
+    paths: Iterable[Union[str, Path]],
+    excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Iterator[Path]:
+    """Yield the ``.py`` files named by ``paths``.
+
+    Directories are walked recursively; any component named in
+    ``excluded_dirs`` (or starting with a dot) prunes the subtree.  A path
+    naming a file directly is always yielded, excluded directory or not.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                parts = relative.parts
+                if any(
+                    part in excluded_dirs or part.startswith(".")
+                    for part in parts[:-1]
+                ):
+                    continue
+                yield candidate
+        else:
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+) -> List[Finding]:
+    """Analyze every Python file under ``paths`` (files or directories)."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths, excluded_dirs=excluded_dirs):
+        findings.extend(
+            analyze_source(
+                file_path.read_text(encoding="utf-8"),
+                path=str(file_path),
+                rules=rules,
+            )
+        )
+    return sorted(findings)

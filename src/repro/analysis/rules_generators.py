@@ -1,0 +1,172 @@
+"""RA005 — generator hygiene for held pools and locks.
+
+A generator can be abandoned at any ``yield``: the consumer breaks out of
+its loop, an exception fires downstream, or the generator is simply
+garbage-collected.  Python then raises ``GeneratorExit`` *at the yield*,
+and any code after it never runs.  A generator that acquired a resource —
+spawned a ``ProcessPoolExecutor``/``WorkerPool``, called ``.acquire()`` on
+a lock — and then yields outside ``try/finally`` therefore leaks worker
+processes or deadlocks the next lock taker the moment a caller stops
+iterating early (``flush_fragments`` consumers do exactly that on
+``limit=``).
+
+The rule inspects every generator function.  After a resource acquisition
+is seen::
+
+    executor = ProcessPoolExecutor(...)      # acquisition
+    lock.acquire()                           # acquisition
+
+every subsequent ``yield`` must be lexically inside a ``try`` that has a
+``finally`` block (where the shutdown/release belongs).  Three escapes:
+
+* ``with ProcessPoolExecutor(...) as pool:`` — exempt; ``GeneratorExit``
+  unwinds ``with`` blocks, so cleanup is already guaranteed;
+* an explicit ``.shutdown()``/``.release()``/``.close()`` statement marks
+  the resource released — later yields are clean again;
+* resources received as parameters are the caller's problem, not the
+  generator's (see ``stream_parallel(pool=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.analysis.astutil import FUNCTION_NODES, expr_text, walk_scope
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+#: Constructor names whose result must be shut down explicitly.
+RESOURCE_CONSTRUCTORS = frozenset(
+    {"ProcessPoolExecutor", "ThreadPoolExecutor", "WorkerPool"}
+)
+
+#: Method calls that take a resource (``lock.acquire()``).
+ACQUIRE_METHODS = frozenset({"acquire"})
+
+#: Method calls that release every held resource for this rule's purposes.
+RELEASE_METHODS = frozenset({"release", "shutdown", "close", "terminate"})
+
+
+def _called_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _acquisitions(statement: ast.stmt) -> List[ast.Call]:
+    """Resource-acquiring calls executed by ``statement`` itself."""
+    if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+        value = statement.value
+    elif isinstance(statement, ast.Expr):
+        value = statement.value
+    else:
+        return []
+    if value is None:
+        return []
+    calls = []
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            name = _called_name(node)
+            if name in RESOURCE_CONSTRUCTORS or (
+                isinstance(node.func, ast.Attribute) and name in ACQUIRE_METHODS
+            ):
+                calls.append(node)
+    return calls
+
+
+def _releases(statement: ast.stmt) -> bool:
+    if not isinstance(statement, ast.Expr):
+        return False
+    for node in ast.walk(statement.value):
+        if isinstance(node, ast.Call) and _called_name(node) in RELEASE_METHODS:
+            if isinstance(node.func, ast.Attribute):
+                return True
+    return False
+
+
+def _is_generator(function: ast.AST) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in walk_scope(function)
+    )
+
+
+def _yields_in(statement: ast.stmt) -> Iterator[ast.AST]:
+    """Yield expressions lexically inside ``statement`` (own scope only),
+    excluding those nested in further compound statements — callers recurse
+    into those with updated protection state."""
+    stack: List[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            yield node
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, FUNCTION_NODES + (ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(child, ast.stmt):
+                continue  # compound-statement bodies handled by _scan
+            stack.append(child)
+
+
+@register
+class GeneratorHygieneRule(Rule):
+    rule_id = "RA005"
+    title = (
+        "generators holding a pool or lock must yield only inside "
+        "try/finally"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, FUNCTION_NODES) and _is_generator(node):
+                held: List[str] = []
+                yield from self._scan(
+                    module, node.body, held, protected=False
+                )
+
+    def _scan(
+        self,
+        module: SourceModule,
+        statements: Sequence[ast.stmt],
+        held: List[str],
+        protected: bool,
+    ) -> Iterator[Finding]:
+        for statement in statements:
+            for call in _acquisitions(statement):
+                held.append(expr_text(call))
+            if _releases(statement):
+                held.clear()
+            if held and not protected:
+                for node in _yields_in(statement):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"generator yields while holding {held[-1]}; an "
+                        "abandoned iterator raises GeneratorExit here and "
+                        "skips the cleanup — wrap the yields in try/finally "
+                        "and release there",
+                    )
+            yield from self._scan_children(module, statement, held, protected)
+
+    def _scan_children(
+        self,
+        module: SourceModule,
+        statement: ast.stmt,
+        held: List[str],
+        protected: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(statement, ast.Try):
+            inner = protected or bool(statement.finalbody)
+            yield from self._scan(module, statement.body, held, inner)
+            for handler in statement.handlers:
+                yield from self._scan(module, handler.body, held, inner)
+            yield from self._scan(module, statement.orelse, held, inner)
+            yield from self._scan(module, statement.finalbody, held, protected)
+            return
+        for field in ("body", "orelse", "finalbody"):
+            children = getattr(statement, field, None)
+            if children and all(isinstance(c, ast.stmt) for c in children):
+                yield from self._scan(module, children, held, protected)

@@ -1,0 +1,161 @@
+"""RA001 — lock discipline for ``_GUARDED_BY_LOCK`` attributes.
+
+A class that shares mutable state between threads declares the guarded
+attribute names in a class-level ``_GUARDED_BY_LOCK`` frozenset (see
+:class:`repro.batch.service.IngestionService` for the canonical example)::
+
+    class Service:
+        _GUARDED_BY_LOCK = frozenset({"_pending", "_completed"})
+
+        def __init__(self):
+            self._lock = threading.Condition()
+            self._pending = deque()          # construction is exempt
+            self._completed = 0
+
+        def submit(self, item):
+            with self._lock:                 # every later access is guarded
+                self._pending.append(item)
+
+RA001 then flags every read or write of a declared attribute that is not
+lexically inside a ``with self._lock:`` block.  Two deliberate choices:
+
+* ``__init__`` is exempt — the object is not yet visible to other threads
+  while it is being constructed.
+* Entering a nested ``def``/``lambda`` resets the "lock held" state: a
+  closure created under the lock may run long after the lock was released
+  (callbacks are the classic leak), so an access inside one only passes if
+  the closure itself takes the lock.  A false positive from an
+  immediately-invoked closure can be suppressed with
+  ``# repro: ignore[RA001]`` plus a justification.
+
+This turns the comment-only "guarded by self._lock" convention into a
+static race detector: a new method that touches a counter without taking
+the lock fails CI instead of waiting for a lucky thread interleaving.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, Iterator, List
+
+from repro.analysis.astutil import is_self_attribute, methods_of
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+#: Class-level declaration the rule looks for.
+GUARD_DECLARATION = "_GUARDED_BY_LOCK"
+
+#: The lock attribute the declaration refers to.
+LOCK_ATTRIBUTE = "_lock"
+
+#: Methods exempt from the check (object not yet shared across threads).
+EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def guarded_attribute_names(classdef: ast.ClassDef) -> FrozenSet[str]:
+    """The string constants of a class-level ``_GUARDED_BY_LOCK`` set."""
+    for statement in classdef.body:
+        targets: List[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if not any(
+            isinstance(target, ast.Name) and target.id == GUARD_DECLARATION
+            for target in targets
+        ):
+            continue
+        names = set()
+        assert value is not None
+        for node in ast.walk(value):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+        return frozenset(names)
+    return frozenset()
+
+
+def _takes_self_lock(with_node: ast.With | ast.AsyncWith) -> bool:
+    return any(
+        is_self_attribute(item.context_expr, LOCK_ATTRIBUTE)
+        for item in with_node.items
+    )
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RA001"
+    title = (
+        "attributes declared in _GUARDED_BY_LOCK may only be accessed "
+        "inside `with self._lock:`"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            guarded = guarded_attribute_names(classdef)
+            if not guarded:
+                continue
+            for method in methods_of(classdef):
+                if method.name in EXEMPT_METHODS:
+                    continue
+                yield from self._scan_body(
+                    module, classdef, method.body, guarded, locked=False
+                )
+
+    def _scan_body(
+        self,
+        module: SourceModule,
+        classdef: ast.ClassDef,
+        nodes: Iterable[ast.AST],
+        guarded: FrozenSet[str],
+        locked: bool,
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._scan_node(module, classdef, node, guarded, locked)
+
+    def _scan_node(
+        self,
+        module: SourceModule,
+        classdef: ast.ClassDef,
+        node: ast.AST,
+        guarded: FrozenSet[str],
+        locked: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_locked = locked or _takes_self_lock(node)
+            # The context expressions themselves run before the lock is
+            # held; the body runs with it.
+            for item in node.items:
+                yield from self._scan_node(
+                    module, classdef, item.context_expr, guarded, locked
+                )
+            yield from self._scan_body(
+                module, classdef, node.body, guarded, inner_locked
+            )
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested callable may outlive the lock scope it was created
+            # in; require it to take the lock itself.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            yield from self._scan_body(
+                module, classdef, body, guarded, locked=False
+            )
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and is_self_attribute(node)
+            and node.attr in guarded
+            and not locked
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"'{classdef.name}.{node.attr}' is declared in "
+                f"{GUARD_DECLARATION} but accessed outside "
+                f"`with self.{LOCK_ATTRIBUTE}:`",
+            )
+            # Fall through: still scan the value side (self) — harmless.
+        yield from self._scan_body(
+            module, classdef, ast.iter_child_nodes(node), guarded, locked
+        )

@@ -1,0 +1,154 @@
+"""RA002 — snapshot-version discipline.
+
+Every artefact derived from a :class:`~repro.graph.digraph.DiGraph`
+snapshot — the cached CSR packing, a
+:class:`~repro.bfs.distance_index.CSRDistanceIndex`, an
+:class:`~repro.batch.planner.ExecutionPlan` — is only valid for the
+``graph.version`` it was built against (PR 5's snapshot-pinning fix turned
+a silent mid-stream corruption into a ``RuntimeError``).  Two checks keep
+that discipline machine-enforced:
+
+1. **Stored snapshot artefacts must pin a version.**  A class that stores
+   a snapshot-derived artefact on ``self`` (an assignment whose right-hand
+   side calls ``csr_snapshot()``, ``build_index()``, ``from_bytes()``,
+   ``.plan()``/``.explain()`` or constructs a ``CSRDistanceIndex`` /
+   ``CSRGraph`` / ``ExecutionPlan``) must also record or compare a version
+   somewhere in the class body (any identifier containing ``version`` —
+   ``self.graph_version = graph.version`` is the canonical pattern, see
+   ``WorkerPool`` and ``QueryWorkload``).  Holding the artefact across
+   statements without a pin means nothing can ever detect that the graph
+   moved underneath it.
+2. **Private ``DiGraph`` adjacency state is off limits outside**
+   ``repro/graph/``.  Reading ``graph._out`` / ``graph._in`` /
+   ``graph._edge_set`` / ``graph._csr`` / ``graph._version`` bypasses both
+   the sorted-adjacency invariant and the version counter; use the public
+   accessors (``out_neighbors``, ``csr_snapshot()``, ``version``).
+   Accesses through ``self`` are exempt (other classes legitimately name
+   their own private fields ``_out``/``_in`` — e.g. the query sharing
+   graph Ψ).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.astutil import class_defs, expr_text, is_self_attribute
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+#: Private DiGraph state that must stay inside ``repro/graph/``.
+PRIVATE_GRAPH_ATTRIBUTES = frozenset(
+    {"_out", "_in", "_edge_set", "_csr", "_csr_version", "_version"}
+)
+
+#: Calls whose result is a snapshot-derived artefact when stored on self.
+SNAPSHOT_PRODUCER_CALLS = frozenset(
+    {"csr_snapshot", "build_index", "from_bytes", "plan", "explain"}
+)
+
+#: Constructors of snapshot-derived artefact types.
+SNAPSHOT_TYPES = frozenset({"CSRDistanceIndex", "CSRGraph", "ExecutionPlan"})
+
+
+def _is_graph_package(module: SourceModule) -> bool:
+    return "repro/graph/" in module.posix_path
+
+
+def _called_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _snapshot_producers(value: ast.expr) -> List[ast.Call]:
+    """Calls inside ``value`` that produce a snapshot-derived artefact."""
+    producers = []
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            name = _called_name(node)
+            if name in SNAPSHOT_PRODUCER_CALLS or name in SNAPSHOT_TYPES:
+                producers.append(node)
+    return producers
+
+
+def _mentions_version(classdef: ast.ClassDef) -> bool:
+    """Does the class body touch any ``*version*`` identifier?"""
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.Name) and "version" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "version" in node.attr.lower():
+            return True
+    return False
+
+
+def _self_attribute_stores(
+    classdef: ast.ClassDef,
+) -> Iterator[Tuple[ast.AST, str, ast.expr]]:
+    """Every ``self.<attr> = <value>`` in the class's methods."""
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if is_self_attribute(target):
+                    yield node, target.attr, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if is_self_attribute(node.target):
+                yield node, node.target.attr, node.value
+
+
+@register
+class SnapshotDisciplineRule(Rule):
+    rule_id = "RA002"
+    title = (
+        "stored snapshot artefacts must pin graph.version; private DiGraph "
+        "adjacency is off limits outside repro/graph/"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not _is_graph_package(module):
+            yield from self._check_private_access(module)
+        yield from self._check_version_pinning(module)
+
+    def _check_private_access(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in PRIVATE_GRAPH_ATTRIBUTES
+                and not is_self_attribute(node)
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "cls"
+                )
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"access to private graph state "
+                    f"'{expr_text(node)}' outside repro/graph/; use the "
+                    "public DiGraph API (out_neighbors/in_neighbors/"
+                    "csr_snapshot/version)",
+                )
+
+    def _check_version_pinning(self, module: SourceModule) -> Iterator[Finding]:
+        for classdef in class_defs(module.tree):
+            stores = [
+                (node, attr, producers)
+                for node, attr, value in _self_attribute_stores(classdef)
+                for producers in [_snapshot_producers(value)]
+                if producers
+            ]
+            if not stores or _mentions_version(classdef):
+                continue
+            for node, attr, producers in stores:
+                produced = ", ".join(
+                    sorted({_called_name(call) for call in producers})
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"'{classdef.name}.{attr}' stores a snapshot-derived "
+                    f"artefact ({produced}) but the class never pins or "
+                    "compares a graph version; record graph.version at "
+                    "build time and re-check it before reuse",
+                )

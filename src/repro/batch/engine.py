@@ -260,7 +260,19 @@ class BatchQueryEngine:
         before the generator's cleanup returns, so no orphaned workers
         outlive the stream.
         """
-        yield from self._stream_core(list(queries), ordered=ordered, pool=pool)
+        # Yield copies: the fragments reference the per-position lists the
+        # engine is still accumulating into its BatchResult, and handing a
+        # caller a live internal list invites exactly the aliasing bug
+        # RA004 exists to catch.  (run()/stream_planned() keep the
+        # zero-copy internal path — the service copies at the ticket
+        # boundary instead.)
+        stream = self._stream_core(list(queries), ordered=ordered, pool=pool)
+        while True:
+            try:
+                position, paths = next(stream)
+            except StopIteration as stop:
+                return stop.value
+            yield position, list(paths)
 
     def stream_planned(
         self,

@@ -43,6 +43,17 @@ Error and lifecycle semantics
   ``close(drain=False)`` fails queued-but-undispatched tickets with
   :class:`ServiceClosedError`; the batch already in flight still resolves.
 
+Lock discipline
+---------------
+State shared between API callers and the scheduler thread is declared in
+the class-level ``IngestionService._GUARDED_BY_LOCK`` frozenset, and every
+access to a declared attribute must sit inside ``with self._lock:``.  The
+declaration is machine-readable: rule RA001 of ``python -m repro.analysis``
+enforces it in CI, so adding a method that reads a counter without the
+lock fails the build instead of waiting for an unlucky interleaving.  When
+adding shared state, add its name to the set; thread-confined state (like
+the scheduler-owned ``_pool``) stays out.
+
 >>> from repro.graph.generators import paper_example_graph
 >>> from repro.queries.query import HCSTQuery
 >>> with serve(paper_example_graph(), algorithm="batch+") as service:
@@ -242,6 +253,28 @@ class IngestionService:
     drain-then-join shutdown.
     """
 
+    # Shared mutable state, touched by API callers and the scheduler
+    # thread alike; RA001 (``python -m repro.analysis``) statically rejects
+    # any access outside ``with self._lock:``.  ``_pool`` is deliberately
+    # absent: it is confined to the scheduler thread (created, used and
+    # shut down there only), so guarding it would just add lock traffic.
+    _GUARDED_BY_LOCK = frozenset(
+        {
+            "_pending",
+            "_closing",
+            "_drain_on_close",
+            "_thread",
+            "_admitted",
+            "_completed",
+            "_failed",
+            "_batches_dispatched",
+            "_batched_total",
+            "_joined_fast_path",
+            "_latency_total_s",
+            "_sharing",
+        }
+    )
+
     def __init__(
         self,
         graph: DiGraph,
@@ -278,7 +311,7 @@ class IngestionService:
         self._drain_on_close = True
         self._thread: Optional[threading.Thread] = None
         self._pool: "WorkerPool | None" = None
-        # Counters (guarded by self._lock).
+        # Counters (declared in _GUARDED_BY_LOCK; RA001-enforced).
         self._admitted = 0
         self._completed = 0
         self._failed = 0

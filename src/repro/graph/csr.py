@@ -123,14 +123,16 @@ class CSRGraph:
                     list(targets[offsets[v]:offsets[v + 1]])
                     for v in range(self.num_vertices)
                 ]
-            return self._fwd_lists
+            # Shared read-only hot-path cache; copying ~|V| lists per
+            # search would dominate small-graph enumeration time.
+            return self._fwd_lists  # repro: ignore[RA004] -- shared read-only cache
         if self._bwd_lists is None:
             offsets, targets = self._bwd_offsets, self._bwd_targets
             self._bwd_lists = [
                 list(targets[offsets[v]:offsets[v + 1]])
                 for v in range(self.num_vertices)
             ]
-        return self._bwd_lists
+        return self._bwd_lists  # repro: ignore[RA004] -- shared read-only cache
 
     def __repr__(self) -> str:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

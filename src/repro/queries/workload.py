@@ -59,6 +59,12 @@ class QueryWorkload:
                     index.has_source(query.s) and index.has_target(query.t),
                     f"prebuilt index does not cover {query}",
                 )
+        # Snapshot-version pin (RA002): the lazily built index and
+        # similarity matrix are only valid for the graph revision the
+        # workload was created against.  ``index`` re-checks this on every
+        # access so a mid-batch graph mutation fails loudly instead of
+        # pruning against stale distances.
+        self.graph_version: int = graph.version
         self._index: Optional[CSRDistanceIndex] = index
         self._similarity: Optional[QuerySimilarityMatrix] = None
 
@@ -68,6 +74,12 @@ class QueryWorkload:
     @property
     def index(self) -> CSRDistanceIndex:
         """The batch distance index, built on first access ("BuildIndex")."""
+        require(
+            self.graph.version == self.graph_version,
+            f"graph mutated under workload (version {self.graph.version}, "
+            f"workload pinned {self.graph_version}); rebuild the workload",
+            RuntimeError,
+        )
         if self._index is None:
             with self.stage_timer.stage("BuildIndex"):
                 self._index = build_index(

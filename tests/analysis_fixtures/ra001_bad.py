@@ -1,0 +1,18 @@
+"""Bad fixture: a _GUARDED_BY_LOCK attribute touched without the lock."""
+
+import threading
+
+
+class Counter:
+    _GUARDED_BY_LOCK = frozenset({"_count"})
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        self._count += 1  # expect: RA001
+
+    def read_locked(self):
+        with self._lock:
+            return self._count

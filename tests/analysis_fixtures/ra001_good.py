@@ -1,0 +1,19 @@
+"""Good fixture: every guarded access sits inside ``with self._lock:``."""
+
+import threading
+
+
+class Counter:
+    _GUARDED_BY_LOCK = frozenset({"_count"})
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def read(self):
+        with self._lock:
+            return self._count

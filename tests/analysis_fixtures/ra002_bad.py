@@ -1,0 +1,16 @@
+"""Bad fixture: snapshot artefact stored without a version pin; private
+DiGraph adjacency poked from outside ``repro/graph/``."""
+
+from repro.bfs.distance_index import build_index
+
+
+class StaleIndexHolder:
+    def __init__(self, graph, sources, targets, max_hops):
+        self._index = build_index(graph, sources, targets, max_hops)  # expect: RA002
+
+    def lookup(self):
+        return self._index
+
+
+def peek_adjacency(graph, v):
+    return graph._out[v]  # expect: RA002

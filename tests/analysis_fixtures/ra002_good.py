@@ -1,0 +1,19 @@
+"""Good fixture: version pinned at build time and re-checked on access."""
+
+from repro.bfs.distance_index import build_index
+
+
+class PinnedIndexHolder:
+    def __init__(self, graph, sources, targets, max_hops):
+        self.graph = graph
+        self.graph_version = graph.version
+        self._index = build_index(graph, sources, targets, max_hops)
+
+    def lookup(self):
+        if self.graph.version != self.graph_version:
+            raise RuntimeError("graph mutated under the index")
+        return self._index
+
+
+def peek_adjacency(graph, v):
+    return list(graph.out_neighbors(v))

@@ -1,0 +1,20 @@
+"""Bad fixture: unpicklable callables handed to a worker pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def _work(self, item):
+        return item + 1
+
+    def run(self, items):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(self._work, item) for item in items]  # expect: RA003
+
+
+def run_inline(pool, items):
+    return [pool.submit(lambda item: item + 1, item) for item in items]  # expect: RA003
+
+
+def spawn():
+    return ProcessPoolExecutor(initializer=lambda: None)  # expect: RA003

@@ -1,0 +1,13 @@
+"""Good fixture: module-level callables cross the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    return item + 1
+
+
+def run(items):
+    with ProcessPoolExecutor(initializer=work) as pool:
+        worker = work
+        return [pool.submit(worker, item) for item in items]

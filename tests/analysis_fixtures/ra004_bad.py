@@ -1,0 +1,12 @@
+"""Bad fixture: a public method leaks an internal mutable container."""
+
+
+class PathStore:
+    def __init__(self):
+        self._paths = []
+
+    def add(self, path):
+        self._paths.append(path)
+
+    def paths(self):
+        return self._paths  # expect: RA004

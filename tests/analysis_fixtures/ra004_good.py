@@ -1,0 +1,15 @@
+"""Good fixture: public accessors copy; private plumbing may share."""
+
+
+class PathStore:
+    def __init__(self):
+        self._paths = []
+
+    def add(self, path):
+        self._paths.append(path)
+
+    def paths(self):
+        return list(self._paths)
+
+    def _raw_paths(self):
+        return self._paths

@@ -1,0 +1,17 @@
+"""Bad fixture: generators yield while holding an unreleased resource."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def stream_futures(tasks):
+    executor = ProcessPoolExecutor()
+    for task in tasks:
+        yield executor.submit(task)  # expect: RA005
+    executor.shutdown()
+
+
+def stream_locked(lock, items):
+    lock.acquire()
+    for item in items:
+        yield item  # expect: RA005
+    lock.release()

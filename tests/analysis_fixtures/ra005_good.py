@@ -1,0 +1,18 @@
+"""Good fixture: resources released in try/finally or scoped by ``with``."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def stream_futures(tasks):
+    executor = ProcessPoolExecutor()
+    try:
+        for task in tasks:
+            yield executor.submit(task)
+    finally:
+        executor.shutdown()
+
+
+def stream_scoped(tasks):
+    with ProcessPoolExecutor() as executor:
+        for task in tasks:
+            yield executor.submit(task)

@@ -77,6 +77,29 @@ def test_workload_shared_index_built_once():
     assert workload.stage_timer.total("BuildIndex") >= 0.0
 
 
+def test_workload_index_raises_after_graph_mutation():
+    # Snapshot-version pin (RA002): the workload's lazily built index is
+    # only valid for the graph revision it was created against.
+    graph = random_directed_gnm(40, 160, seed=3)
+    workload = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
+    assert workload.index is workload.index  # built and cached while valid
+    graph.add_edge(0, 39)
+    with pytest.raises(RuntimeError, match="graph mutated under workload"):
+        workload.index
+    # A workload built after the mutation pins the new version and works.
+    fresh = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
+    assert fresh.graph_version == graph.version
+    assert fresh.index.has_source(0)
+
+
+def test_workload_pin_catches_mutation_before_first_build():
+    graph = random_directed_gnm(40, 160, seed=4)
+    workload = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
+    graph.add_edge(1, 38)
+    with pytest.raises(RuntimeError, match="rebuild the workload"):
+        workload.index
+
+
 def test_workload_similarity_in_unit_interval():
     graph = random_directed_gnm(40, 200, seed=2)
     workload = QueryWorkload(graph, [HCSTQuery(0, 5, 3), HCSTQuery(0, 6, 3)])

@@ -453,3 +453,84 @@ def test_ticket_result_timeout_on_unstarted_service():
     with pytest.raises(TimeoutError):
         ticket.result(timeout=0.05)
     service.close(drain=False)
+
+
+# --------------------------------------------------------------------- #
+# Lock discipline (_GUARDED_BY_LOCK / RA001) regression tests
+# --------------------------------------------------------------------- #
+def test_guarded_declaration_matches_real_instance_state():
+    """Every name declared in ``_GUARDED_BY_LOCK`` must exist on a live
+    instance — a renamed attribute would otherwise silently fall out of
+    RA001's static race check."""
+    service = IngestionService(_GRAPH, algorithm="batch+", start=False)
+    try:
+        for name in IngestionService._GUARDED_BY_LOCK:
+            assert hasattr(service, name), name
+        # The scheduler-confined pool is deliberately NOT lock-guarded.
+        assert "_pool" not in IngestionService._GUARDED_BY_LOCK
+    finally:
+        service.close(drain=False)
+
+
+def test_stats_stay_consistent_under_concurrent_submit_and_read():
+    """Hammer the lock-guarded counters from several submitter threads
+    while a reader polls ``stats()``: every snapshot must satisfy the
+    invariants the lock is supposed to protect, and the final tallies
+    must balance exactly."""
+    submitters, per_thread = 3, 8
+    policy = AdmissionPolicy(max_batch_size=4, max_delay_s=0.001)
+    service = IngestionService(
+        _GRAPH, algorithm="batch+", num_workers=1, policy=policy
+    )
+    queries = generate_random_queries(
+        _GRAPH, submitters * per_thread, min_k=2, max_k=4, seed=11
+    )
+    tickets, errors = [], []
+    tickets_lock = threading.Lock()
+    stop_reading = threading.Event()
+
+    def submit_slice(offset):
+        try:
+            for query in queries[offset : offset + per_thread]:
+                ticket = service.submit(query)
+                with tickets_lock:
+                    tickets.append(ticket)
+        except BaseException as error:  # pragma: no cover - fails the test
+            errors.append(error)
+
+    def read_stats():
+        while not stop_reading.is_set():
+            stats = service.stats()
+            resolved = stats.completed + stats.failed
+            if not (0 <= resolved <= stats.admitted):
+                errors.append(
+                    AssertionError(f"inconsistent snapshot: {stats}")
+                )
+            if stats.batches_dispatched:
+                if not stats.mean_batch_size >= 1.0:
+                    errors.append(
+                        AssertionError(f"bad mean batch size: {stats}")
+                    )
+
+    threads = [
+        threading.Thread(target=submit_slice, args=(i * per_thread,))
+        for i in range(submitters)
+    ]
+    reader = threading.Thread(target=read_stats)
+    reader.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for ticket in tickets:
+        ticket.result(timeout=TIMEOUT)
+    stop_reading.set()
+    reader.join()
+    service.close(drain=True)
+    assert errors == []
+    final = service.stats()
+    assert final.admitted == submitters * per_thread
+    assert final.completed == final.admitted
+    assert final.failed == 0
+    assert final.pending == 0
+    assert final.batches_dispatched >= 1

@@ -182,7 +182,12 @@ def test_mutation_during_planning_raises(monkeypatch):
 
     monkeypatch.setattr(planner_module, "cluster_queries", mutate_then_cluster)
     engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=2)
-    with pytest.raises(RuntimeError, match="while the planner"):
+    # Either guard is acceptable: the workload's version pin (which now
+    # re-checks on every index access) usually trips first, the planner's
+    # own end-of-plan check is the backstop.
+    with pytest.raises(
+        RuntimeError, match="mutated under workload|while the planner"
+    ):
         engine.explain(queries)
 
 
@@ -194,3 +199,28 @@ def test_abandoned_stream_shuts_down_cleanly():
     first = next(stream)
     assert isinstance(first[0], int)
     stream.close()  # GeneratorExit → pool.shutdown(cancel_futures=True)
+
+
+def test_stream_yields_defensive_copies():
+    """The public ``stream()`` must hand out copies, not the per-position
+    lists the engine is still accumulating into its own BatchResult —
+    mutating a yielded list must not corrupt later lookups (the PR 1
+    leaky-internals bug class, now also statically checked by RA004)."""
+    engine = BatchQueryEngine(_GRAPH, algorithm="batch+")
+    stream = engine.stream(_QUERIES)
+    collected = {}
+    while True:
+        try:
+            position, paths = next(stream)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        collected[position] = list(paths)
+        paths.append("sentinel")  # a hostile caller scribbling on output
+        paths.reverse()
+    assert result is not None
+    for position, paths in collected.items():
+        assert result.paths_at(position) == paths
+    reference = _reference("batch+")
+    for position in range(len(_QUERIES)):
+        assert result.paths_at(position) == reference.paths_at(position)
