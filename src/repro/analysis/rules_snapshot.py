@@ -8,24 +8,34 @@ snapshot — the cached CSR packing, a
 a silent mid-stream corruption into a ``RuntimeError``).  Two checks keep
 that discipline machine-enforced:
 
-1. **Stored snapshot artefacts must pin a version.**  A class that stores
-   a snapshot-derived artefact on ``self`` (an assignment whose right-hand
-   side calls ``csr_snapshot()``, ``build_index()``, ``from_bytes()``,
+1. **Stored snapshot artefacts must pin a version or resolve through the
+   snapshot store.**  A class that stores a snapshot-derived artefact on
+   ``self`` (an assignment whose right-hand side calls
+   ``csr_snapshot()``, ``build_index()``, ``from_bytes()``,
    ``.plan()``/``.explain()`` or constructs a ``CSRDistanceIndex`` /
-   ``CSRGraph`` / ``ExecutionPlan``) must also record or compare a version
-   somewhere in the class body (any identifier containing ``version`` —
-   ``self.graph_version = graph.version`` is the canonical pattern, see
-   ``WorkerPool`` and ``QueryWorkload``).  Holding the artefact across
-   statements without a pin means nothing can ever detect that the graph
-   moved underneath it.
+   ``CSRGraph`` / ``ExecutionPlan``) must do one of two things somewhere
+   in the class body:
+
+   - record or compare a version (any identifier containing ``version``
+     — ``self.graph_version = graph.version`` is the canonical pattern,
+     see ``WorkerPool`` and ``QueryWorkload``), or
+   - resolve the artefact through the multi-version
+     :class:`~repro.graph.snapshots.SnapshotStore` (naming
+     ``SnapshotStore`` / ``PinnedSnapshot``, touching
+     ``graph.snapshots``, or calling ``pin()`` / ``seal()`` /
+     ``resolve()`` — the PR 7 copy-on-write pattern where a sealed,
+     immutable snapshot makes explicit version comparison unnecessary).
+
+   Holding the artefact across statements with neither means nothing can
+   ever detect that the graph moved underneath it.
 2. **Private ``DiGraph`` adjacency state is off limits outside**
    ``repro/graph/``.  Reading ``graph._out`` / ``graph._in`` /
-   ``graph._edge_set`` / ``graph._csr`` / ``graph._version`` bypasses both
-   the sorted-adjacency invariant and the version counter; use the public
-   accessors (``out_neighbors``, ``csr_snapshot()``, ``version``).
-   Accesses through ``self`` are exempt (other classes legitimately name
-   their own private fields ``_out``/``_in`` — e.g. the query sharing
-   graph Ψ).
+   ``graph._edge_set`` / ``graph._snapshots`` / ``graph._version``
+   bypasses both the sorted-adjacency invariant and the version counter;
+   use the public accessors (``out_neighbors``, ``csr_snapshot()``,
+   ``version``, ``snapshots``).  Accesses through ``self`` are exempt
+   (other classes legitimately name their own private fields
+   ``_out``/``_in`` — e.g. the query sharing graph Ψ).
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ from repro.analysis.core import Finding, Rule, SourceModule, register
 
 #: Private DiGraph state that must stay inside ``repro/graph/``.
 PRIVATE_GRAPH_ATTRIBUTES = frozenset(
-    {"_out", "_in", "_edge_set", "_csr", "_csr_version", "_version"}
+    {"_out", "_in", "_edge_set", "_csr", "_csr_version", "_version", "_snapshots"}
 )
 
 #: Calls whose result is a snapshot-derived artefact when stored on self.
@@ -48,6 +58,11 @@ SNAPSHOT_PRODUCER_CALLS = frozenset(
 
 #: Constructors of snapshot-derived artefact types.
 SNAPSHOT_TYPES = frozenset({"CSRDistanceIndex", "CSRGraph", "ExecutionPlan"})
+
+#: Names whose presence marks a class as resolving snapshots through the
+#: multi-version store rather than an explicit version pin.
+STORE_TYPE_NAMES = frozenset({"SnapshotStore", "PinnedSnapshot"})
+STORE_ACCESS_NAMES = frozenset({"snapshots", "pin", "seal", "resolve"})
 
 
 def _is_graph_package(module: SourceModule) -> bool:
@@ -79,6 +94,24 @@ def _mentions_version(classdef: ast.ClassDef) -> bool:
         if isinstance(node, ast.Name) and "version" in node.id.lower():
             return True
         if isinstance(node, ast.Attribute) and "version" in node.attr.lower():
+            return True
+    return False
+
+
+def _resolves_via_store(classdef: ast.ClassDef) -> bool:
+    """Does the class resolve snapshots through the ``SnapshotStore``?
+
+    True when the body names ``SnapshotStore``/``PinnedSnapshot``, reads a
+    ``.snapshots`` attribute, or calls ``pin()``/``seal()``/``resolve()``
+    — sealed snapshots are immutable, so such classes need no explicit
+    ``graph.version`` comparison.
+    """
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.Name) and node.id in STORE_TYPE_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and (
+            node.attr in STORE_TYPE_NAMES or node.attr in STORE_ACCESS_NAMES
+        ):
             return True
     return False
 
@@ -138,7 +171,11 @@ class SnapshotDisciplineRule(Rule):
                 for producers in [_snapshot_producers(value)]
                 if producers
             ]
-            if not stores or _mentions_version(classdef):
+            if (
+                not stores
+                or _mentions_version(classdef)
+                or _resolves_via_store(classdef)
+            ):
                 continue
             for node, attr, producers in stores:
                 produced = ", ".join(
@@ -149,6 +186,8 @@ class SnapshotDisciplineRule(Rule):
                     node,
                     f"'{classdef.name}.{attr}' stores a snapshot-derived "
                     f"artefact ({produced}) but the class never pins or "
-                    "compares a graph version; record graph.version at "
-                    "build time and re-check it before reuse",
+                    "compares a graph version, nor resolves it through "
+                    "the SnapshotStore; record graph.version at build "
+                    "time and re-check it before reuse, or hold a "
+                    "PinnedSnapshot from graph.snapshots.pin()",
                 )

@@ -105,6 +105,7 @@ from repro.utils.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.batch.executor import WorkerPool
+    from repro.graph.csr import CSRGraph
 
 #: Canonical algorithm names accepted by :class:`BatchQueryEngine`.
 ALGORITHMS = (
@@ -243,10 +244,12 @@ class BatchQueryEngine:
         raised while processing any shard propagates out of the iterator;
         positions flushed before the failure have already been delivered.
 
-        The graph version is pinned when the stream starts: mutating the
-        graph while the stream is in flight raises ``RuntimeError`` at the
-        next flush instead of silently mixing results computed against
-        different snapshots.
+        The stream reads the sealed copy-on-write snapshot of the version
+        the graph had when the stream started: mutating the graph while
+        the stream is in flight is **allowed** and never disturbs it — all
+        positions are answered against that one snapshot, and the next
+        stream/run plans against the new head (multi-version serving, see
+        :mod:`repro.graph.snapshots`).
 
         ``pool`` is an optional persistent
         :class:`~repro.batch.executor.WorkerPool` (see :meth:`create_pool`)
@@ -298,16 +301,24 @@ class BatchQueryEngine:
         )
         return result
 
-    def create_pool(self, max_workers: int) -> "WorkerPool":
+    def create_pool(
+        self, max_workers: int, snapshot: "CSRGraph | None" = None
+    ) -> "WorkerPool":
         """Open a persistent :class:`~repro.batch.executor.WorkerPool` bound
         to this engine's graph/algorithm/gamma, for reuse across many
-        ``stream``/``run`` calls (micro-batch serving).  The caller owns the
-        pool: pass it via ``stream(..., pool=...)`` and ``shutdown()`` it
-        when done."""
+        ``stream``/``run`` calls (micro-batch serving).  ``snapshot``
+        optionally pins the sealed CSR the workers are initialised with
+        (defaults to the graph's current head).  The caller owns the pool:
+        pass it via ``stream(..., pool=...)`` and ``shutdown()`` it when
+        done."""
         from repro.batch.executor import WorkerPool
 
         return WorkerPool(
-            self.graph, self.algorithm, self.gamma, max_workers=max_workers
+            self.graph,
+            self.algorithm,
+            self.gamma,
+            max_workers=max_workers,
+            snapshot=snapshot,
         )
 
     # ------------------------------------------------------------------ #
@@ -323,23 +334,22 @@ class BatchQueryEngine:
         """The shared fragment pipeline behind :meth:`run`, :meth:`stream`
         and :meth:`stream_planned`: plan (unless one was handed in), pick a
         fragment generator (sequential runner or plan-driven parallel
-        executor) and push it through the flushing core.  Every fragment
-        flush re-checks the pinned graph version."""
+        executor) and push it through the flushing core.  Every fragment is
+        computed against the plan's sealed snapshot — concurrent graph
+        mutation is copy-on-write and cannot reach an in-flight stream."""
         from repro.batch.executor import flush_fragments, stream_parallel
 
         if not queries:
             return BatchResult(
                 queries=[], algorithm=DISPLAY_NAMES[self.algorithm]
             )
-        pinned_version = self.graph.version
         if plan is None and self.num_workers == 1 and pool is None:
             # Explicit sequential request: no planning, byte-identical to
             # the pre-planner engine (the differential suites pin this).
-            fragments = self._fragment_runner()(queries)
+            fragments = self._fragment_runner(self.graph.csr_snapshot())(queries)
         else:
             if plan is None:
                 plan = self._plan(queries, pool_ready=pool is not None)
-            pinned_version = plan.graph_version
             if plan.num_workers <= 1:
                 fragments = self._sequential_fragments(queries, plan)
             else:
@@ -351,90 +361,59 @@ class BatchQueryEngine:
                     plan=plan,
                     pool=pool,
                 )
-        result = yield from _pin_graph_version(
-            flush_fragments(fragments, len(queries), ordered),
-            self.graph,
-            pinned_version,
-        )
+        result = yield from flush_fragments(fragments, len(queries), ordered)
         return result
 
     def _sequential_fragments(
         self, queries: List[HCSTQuery], plan: ExecutionPlan
     ) -> FragmentStream:
         """Sequential execution that reuses the plan's prebuilt artefacts
-        (workload index, clusters) instead of recomputing them."""
+        (snapshot, workload index, clusters) instead of recomputing them."""
+        snapshot = (
+            plan.snapshot
+            if plan.snapshot is not None
+            else self.graph.csr_snapshot()
+        )
         if self.algorithm in ("batch", "batch+"):
             return BatchEnum(
-                self.graph,
+                snapshot,
                 gamma=self.gamma,
                 optimize_search_order=self.algorithm.endswith("+"),
             ).iter_run(queries, workload=plan.workload, clusters=plan.clusters)
         if self.algorithm in ("basic", "basic+"):
             return BasicEnum(
-                self.graph, optimize_search_order=self.algorithm.endswith("+")
+                snapshot, optimize_search_order=self.algorithm.endswith("+")
             ).iter_run(queries, workload=plan.workload)
-        return self._fragment_runner()(queries)
+        return self._fragment_runner(snapshot)(queries)
 
-    def _fragment_runner(self) -> Callable[[Sequence[HCSTQuery]], FragmentStream]:
-        """The sequential fragment generator of the configured algorithm."""
+    def _fragment_runner(
+        self, snapshot: "CSRGraph"
+    ) -> Callable[[Sequence[HCSTQuery]], FragmentStream]:
+        """The sequential fragment generator of the configured algorithm,
+        bound to one sealed snapshot (live mutations cannot reach it)."""
         if self.algorithm == "pathenum":
-            return lambda queries: iter_pathenum_baseline(self.graph, queries)
+            return lambda queries: iter_pathenum_baseline(snapshot, queries)
         if self.algorithm == "basic":
-            return BasicEnum(self.graph, optimize_search_order=False).iter_run
+            return BasicEnum(snapshot, optimize_search_order=False).iter_run
         if self.algorithm == "basic+":
-            return BasicEnum(self.graph, optimize_search_order=True).iter_run
+            return BasicEnum(snapshot, optimize_search_order=True).iter_run
         if self.algorithm == "batch":
             return BatchEnum(
-                self.graph, gamma=self.gamma, optimize_search_order=False
+                snapshot, gamma=self.gamma, optimize_search_order=False
             ).iter_run
         if self.algorithm == "batch+":
             return BatchEnum(
-                self.graph, gamma=self.gamma, optimize_search_order=True
+                snapshot, gamma=self.gamma, optimize_search_order=True
             ).iter_run
         if self.algorithm == "dksp":
             from repro.baselines.dksp import iter_dksp_baseline
 
-            return lambda queries: iter_dksp_baseline(self.graph, queries)
+            return lambda queries: iter_dksp_baseline(snapshot, queries)
         if self.algorithm == "onepass":
             from repro.baselines.onepass import iter_onepass_baseline
 
-            return lambda queries: iter_onepass_baseline(self.graph, queries)
+            return lambda queries: iter_onepass_baseline(snapshot, queries)
         raise ValueError(f"unhandled algorithm {self.algorithm!r}")
-
-
-def _pin_graph_version(
-    stream: ResultStream, graph: DiGraph, pinned_version: int
-) -> ResultStream:
-    """Guard a result stream against concurrent graph mutation.
-
-    The whole pipeline behind a stream — CSR snapshot, distance index,
-    clusters, cost estimates — is derived from the graph as it stood at
-    plan time.  A mutation mid-stream would silently invalidate those
-    artefacts (the next ``csr_snapshot()`` call re-packs, mixing results
-    computed against different graphs), so *every flushed position* is
-    re-checked against the pinned version and a clear ``RuntimeError`` is
-    raised at the first flush after the versions diverge.  Positions
-    flushed before the mutation were computed entirely against the pinned
-    snapshot and remain valid, as does a mutation after the final flush.
-    """
-    try:
-        while True:
-            try:
-                item = next(stream)
-            except StopIteration as stop:
-                # Everything was flushed against the pinned snapshot; a
-                # mutation after the final flush invalidates nothing.
-                return stop.value
-            require(
-                graph.version == pinned_version,
-                "graph mutated while a stream was in flight "
-                f"(version {pinned_version} -> {graph.version}); "
-                "re-run the batch against the new graph",
-                exception=RuntimeError,
-            )
-            yield item
-    finally:
-        stream.close()
 
 
 def batch_enumerate(

@@ -83,6 +83,7 @@ from repro.batch.results import (
 )
 from repro.bfs.distance_index import CSRDistanceIndex, build_index
 from repro.enumeration.paths import Path
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.queries.workload import QueryWorkload
@@ -92,8 +93,10 @@ from repro.utils.validation import require
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.batch.planner import ExecutionPlan
 
-#: Worker-process state installed by :func:`_init_worker`.
-_WORKER_GRAPH: Optional[DiGraph] = None
+#: Worker-process state installed by :func:`_init_worker`.  The graph is a
+#: sealed :class:`~repro.graph.csr.CSRGraph` snapshot — workers never see
+#: the live, mutable ``DiGraph``.
+_WORKER_GRAPH: Optional[CSRGraph] = None
 _WORKER_CONFIG: Optional[dict] = None
 _WORKER_INDEX: Optional[CSRDistanceIndex] = None
 
@@ -110,9 +113,9 @@ _WORKER_TASK_INDEX: Tuple[Optional[object], Optional[CSRDistanceIndex]] = (
 Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float]]
 
 
-def _init_worker(graph: DiGraph, config: dict) -> None:
-    """Pool initializer: stash the graph, config and (optionally) the
-    parent's shipped distance index per process.
+def _init_worker(graph: CSRGraph, config: dict) -> None:
+    """Pool initializer: stash the sealed graph snapshot, config and
+    (optionally) the parent's shipped distance index per process.
 
     The index travels as the compact ``to_bytes`` payload and is
     deserialized exactly once per worker — every cluster/slice task the
@@ -244,6 +247,7 @@ class WorkerPool:
         gamma: float,
         max_workers: int,
         max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+        snapshot: Optional[CSRGraph] = None,
     ) -> None:
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
         self.graph = graph
@@ -251,11 +255,13 @@ class WorkerPool:
         self.gamma = gamma
         self.max_workers = max_workers
         self.max_detection_depth = max_detection_depth
-        #: Version of the graph the workers were spawned with.  Workers hold
-        #: their own pickled copy, so an in-place mutation of ``graph`` does
-        #: NOT reach them — executors must refuse a pool whose snapshot is
-        #: older than the plan's (see :func:`stream_parallel`).
-        self.graph_version = graph.version
+        #: The sealed snapshot the workers were initialised with.  Workers
+        #: hold their own pickled copy, so an in-place mutation of ``graph``
+        #: does NOT reach them — executors refuse a pool whose snapshot
+        #: version differs from the plan's (see :func:`stream_parallel`),
+        #: and the ingestion service recycles the pool on version drift.
+        self.snapshot = snapshot if snapshot is not None else graph.csr_snapshot()
+        self.graph_version = self.snapshot.version
         config = {
             "algorithm": algorithm,
             "gamma": gamma,
@@ -266,7 +272,7 @@ class WorkerPool:
         self._executor = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(graph, config),
+            initargs=(self.snapshot, config),
         )
         self._batch_counter = 0
         self._closed = False
@@ -421,10 +427,13 @@ def stream_parallel(
             "max_detection_depth": max_detection_depth,
             "index_bytes": shipped_bytes,
         }
+        snapshot = (
+            plan.snapshot if plan.snapshot is not None else graph.csr_snapshot()
+        )
         executor = ProcessPoolExecutor(
             max_workers=plan.num_workers,
             initializer=_init_worker,
-            initargs=(graph, config),
+            initargs=(snapshot, config),
         )
         extra_args: Tuple = ()
     else:

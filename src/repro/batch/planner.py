@@ -39,7 +39,9 @@ from repro.batch.clustering import cluster_queries
 from repro.bfs.distance_index import CSRDistanceIndex
 from repro.bfs.single_source import bfs_distances
 from repro.enumeration.search_order import estimate_side_cost
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.snapshots import PinnedSnapshot
 from repro.queries.query import HCSTQuery
 from repro.queries.similarity import similarity_from_neighborhoods
 from repro.queries.workload import QueryWorkload
@@ -142,6 +144,12 @@ class CostModel:
     seconds_per_shipped_byte:
         Per-byte cost of serializing + piping + deserializing the
         array-backed index into a worker.
+    seconds_per_delta_edge:
+        Per (changed edge × index row) cost of incremental
+        :meth:`~repro.bfs.distance_index.CSRDistanceIndex.apply_delta`
+        repair — the third index option ("ship-delta") next to build and
+        ship: repair the previous batch's index instead of re-running the
+        multi-source BFS from scratch.
     parallel_benefit_margin:
         ``auto`` only shards when the predicted parallel wall time is below
         this fraction of the predicted sequential wall time — a hedge
@@ -154,7 +162,26 @@ class CostModel:
     seconds_per_cost_unit: float = 5e-6
     seconds_per_index_entry: float = 4e-7
     seconds_per_shipped_byte: float = 2e-9
+    seconds_per_delta_edge: float = 2e-5
     parallel_benefit_margin: float = 0.75
+
+    def delta_repair_seconds(
+        self, num_changed_edges: int, index: CSRDistanceIndex
+    ) -> float:
+        """Estimated cost of repairing ``index`` for a netted edge delta.
+
+        Repair touches each indexed row once per changed edge in the worst
+        case (affected-region detection is per row), hence the
+        ``edges × rows`` product.
+        """
+        return num_changed_edges * index.num_rows * self.seconds_per_delta_edge
+
+    def delta_repair_wins(
+        self, num_changed_edges: int, index: CSRDistanceIndex
+    ) -> bool:
+        """Whether repairing beats rebuilding the multi-source BFS."""
+        rebuild = index.size_in_entries * self.seconds_per_index_entry
+        return self.delta_repair_seconds(num_changed_edges, index) < rebuild
 
     def spawn_seconds(self, num_workers: int) -> float:
         """Estimated pool spawn overhead for ``num_workers`` processes."""
@@ -264,10 +291,17 @@ class ExecutionPlan:
     estimated_spawn_seconds: float
     estimated_index_ship_seconds: float
     estimated_index_rebuild_seconds: float
-    #: ``graph.version`` pinned when the plan (and its CSR snapshot / index)
-    #: was built.  Executors compare against it to detect a graph that
-    #: mutated between planning and (mid-)execution.
+    #: ``graph.version`` the plan's sealed snapshot (and index) belong to.
+    #: Execution resolves this exact snapshot, so a graph that mutates
+    #: between planning and execution never changes what the batch reads.
     graph_version: int = -1
+    #: How the plan obtained its distance index: freshly ``"built"``,
+    #: reused ``"cached"`` from the planner's previous batch (same
+    #: endpoints, same version), or ``"delta"``-repaired from the cached
+    #: one via ``CSRDistanceIndex.apply_delta`` (ship-delta).
+    index_strategy: str = "built"
+    #: The sealed CSR snapshot every execution artefact was derived from.
+    snapshot: Optional[CSRGraph] = field(default=None, repr=False)
     workload: Optional[QueryWorkload] = field(default=None, repr=False)
     clusters: Optional[List[List[int]]] = field(default=None, repr=False)
     index_bytes: Optional[bytes] = field(default=None, repr=False)
@@ -302,7 +336,8 @@ class ExecutionPlan:
                     if self.num_workers <= 1
                     else "rebuild per worker"
                 )
-            ),
+            )
+            + f" [{self.index_strategy}]",
             f"  est seq:      {self.estimated_sequential_seconds:.4f}s",
             f"  est parallel: {self.estimated_parallel_seconds:.4f}s "
             f"(spawn {self.estimated_spawn_seconds:.4f}s)",
@@ -408,6 +443,10 @@ class QueryPlanner:
         #: the admission hook; invalidated when the graph version moves.
         self._neighborhood_cache: Dict[Tuple, frozenset] = {}
         self._neighborhood_cache_version = self.graph.version
+        #: ``(endpoint key, graph version, index)`` of the previous batch's
+        #: distance index — the substrate of the cached / ship-delta
+        #: strategies in :meth:`_resolve_index`.
+        self._index_cache: Optional[Tuple[Tuple, int, CSRDistanceIndex]] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -417,6 +456,7 @@ class QueryPlanner:
         queries: Sequence[HCSTQuery],
         num_workers: NumWorkers = "auto",
         pool_ready: bool = False,
+        snapshot: Optional[Union[CSRGraph, PinnedSnapshot]] = None,
     ) -> ExecutionPlan:
         """Emit the execution plan for ``queries``.
 
@@ -426,18 +466,24 @@ class QueryPlanner:
         :class:`~repro.batch.executor.WorkerPool`, so parallel estimates
         carry no pool-spawn overhead — without it, a continuous-ingestion
         micro-batch would be charged a full pool spawn it never pays and
-        ``auto`` would stay sequential even when sharding wins.  An empty
-        batch plans to a trivial sequential no-op.
+        ``auto`` would stay sequential even when sharding wins.
+
+        ``snapshot`` pins the sealed CSR (or a
+        :class:`~repro.graph.snapshots.PinnedSnapshot` holding one) the
+        whole plan→execute pipeline reads — the version the batch was
+        *admitted* under.  When omitted, the plan seals the graph's current
+        head.  Every artefact (index, clusters, cost estimates) is derived
+        from that one immutable packing, so graph mutations during or after
+        planning never leak into the batch.  An empty batch plans to a
+        trivial sequential no-op.
         """
         num_workers = validate_num_workers(num_workers)
         queries = list(queries)
         model = self.cost_model
-        # Pin the snapshot the whole plan→execute pipeline will read.  Every
-        # prebuilt artefact below (index, clusters, cost estimates) is
-        # derived from this exact CSR packing; the recorded version lets the
-        # engine refuse to serve results if the graph mutates mid-stream.
-        pinned_version = self.graph.version
-        self.graph.csr_snapshot()
+        if isinstance(snapshot, PinnedSnapshot):
+            snapshot = snapshot.csr
+        csr = snapshot if snapshot is not None else self.graph.csr_snapshot()
+        pinned_version = csr.version
         if not queries:
             return ExecutionPlan(
                 algorithm=self.algorithm,
@@ -453,6 +499,7 @@ class QueryPlanner:
                 estimated_index_ship_seconds=0.0,
                 estimated_index_rebuild_seconds=0.0,
                 graph_version=pinned_version,
+                snapshot=csr,
             )
 
         clustered = self.algorithm in CLUSTERED_ALGORITHMS
@@ -461,9 +508,26 @@ class QueryPlanner:
         workload: Optional[QueryWorkload] = None
         clusters: Optional[List[List[int]]] = None
         index: Optional[CSRDistanceIndex] = None
+        index_strategy = "built"
         if indexed:
-            workload = QueryWorkload(self.graph, queries, stage_timer=StageTimer())
+            stage_timer = StageTimer()
+            endpoint_key = (
+                tuple(sorted({q.s for q in queries})),
+                tuple(sorted({q.t for q in queries})),
+                max(q.k for q in queries),
+            )
+            prebuilt, index_strategy = self._resolve_index(
+                endpoint_key, csr, stage_timer
+            )
+            workload = QueryWorkload(
+                self.graph,
+                queries,
+                stage_timer=stage_timer,
+                index=prebuilt,
+                csr=csr,
+            )
             index = workload.index
+            self._index_cache = (endpoint_key, pinned_version, index)
         if clustered:
             assert workload is not None
             with workload.stage_timer.stage("ClusterQuery"):
@@ -471,9 +535,7 @@ class QueryPlanner:
 
         side_cost_cache: Dict[Tuple, float] = {}
         query_costs = [
-            estimate_query_cost(
-                query, index, self.graph, self.algorithm, side_cost_cache
-            )
+            estimate_query_cost(query, index, csr, self.algorithm, side_cost_cache)
             for query in queries
         ]
 
@@ -505,12 +567,6 @@ class QueryPlanner:
             index_bytes = index.to_bytes()
             payload_size = len(index_bytes)
 
-        require(
-            self.graph.version == pinned_version,
-            "graph mutated while the planner was building its plan; "
-            "re-plan against the new snapshot",
-            exception=RuntimeError,
-        )
         total_cost = sum(query_costs)
         per_worker_index = ship_seconds if ship_index else rebuild_seconds
         return ExecutionPlan(
@@ -531,10 +587,51 @@ class QueryPlanner:
             estimated_index_ship_seconds=ship_seconds,
             estimated_index_rebuild_seconds=rebuild_seconds,
             graph_version=pinned_version,
+            index_strategy=index_strategy,
+            snapshot=csr,
             workload=workload,
             clusters=clusters,
             index_bytes=index_bytes,
         )
+
+    def _resolve_index(
+        self, endpoint_key: Tuple, csr: CSRGraph, stage_timer: StageTimer
+    ) -> Tuple[Optional[CSRDistanceIndex], str]:
+        """Pick the cheapest way to obtain this batch's distance index.
+
+        Three-way decision: reuse the previous batch's index verbatim when
+        endpoints and snapshot version both match (``"cached"``);
+        delta-repair a copy of it when only the version moved, the snapshot
+        store can net the edge changes, and the cost model says repair
+        beats a fresh multi-source BFS (``"delta"`` — the ship-delta
+        option); otherwise fall through to a fresh build (``"built"``,
+        returned as ``None`` so the workload builds lazily).
+        """
+        cached = self._index_cache
+        if cached is None:
+            return None, "built"
+        cached_key, cached_version, cached_index = cached
+        if (
+            cached_key != endpoint_key
+            or cached_index.num_vertices != csr.num_vertices
+        ):
+            return None, "built"
+        if cached_version == csr.version:
+            return cached_index, "cached"
+        store = getattr(self.graph, "snapshots", None)
+        if store is None:
+            return None, "built"
+        delta = store.delta(cached_version, csr.version)
+        if delta is None:
+            return None, "built"
+        added, removed = delta
+        if not self.cost_model.delta_repair_wins(
+            len(added) + len(removed), cached_index
+        ):
+            return None, "built"
+        with stage_timer.stage("BuildIndex"):
+            repaired = cached_index.copy().apply_delta(csr, added, removed)
+        return repaired, "delta"
 
     # ------------------------------------------------------------------ #
     # Admission hook (continuous ingestion)

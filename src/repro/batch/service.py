@@ -567,14 +567,22 @@ class IngestionService:
         queries = [ticket.query for ticket in batch]
         resolved = 0
         latency_sum = 0.0
+        pin = None
         try:
+            # Pin the admitted version exactly once — one atomic seal of
+            # the head — and thread that single snapshot through plan, pool
+            # and execute.  (The old code compared ``self.graph.version``
+            # against the pool and then planned against whatever the graph
+            # had become by then: a mutation landing between the check and
+            # the plan ran the batch against a version it never checked.)
+            pin = self.graph.snapshots.pin()
             if (
                 self._pool is not None
-                and self._pool.graph_version != self.graph.version
+                and self._pool.graph_version != pin.version
             ):
                 # The graph mutated since the pool spawned; its workers
-                # hold a stale pickled copy, so recycle it — the next
-                # parallel plan respawns against the current snapshot.
+                # hold a pickled copy of the older snapshot, so recycle it
+                # — the respawn below initialises against this batch's pin.
                 self._shutdown_pool()
             # Plan as if the pool were already up even before the first
             # spawn: for a long-running service the spawn is a one-time
@@ -583,7 +591,10 @@ class IngestionService:
             # only exists once a plan goes parallel — a chicken-and-egg
             # the one-shot engine path does not have).
             plan = self._planner.plan(
-                queries, num_workers=self._num_workers, pool_ready=True
+                queries,
+                num_workers=self._num_workers,
+                pool_ready=True,
+                snapshot=pin,
             )
             if plan.num_workers > 1 and self._pool is None:
                 # First parallel plan: open the persistent pool every later
@@ -595,7 +606,8 @@ class IngestionService:
                 self._pool = self._engine.create_pool(
                     max_workers=max(
                         2, self._planner.max_workers, plan.num_workers
-                    )
+                    ),
+                    snapshot=pin.csr,
                 )
             stream = self._engine.stream_planned(
                 queries, plan, ordered=False, pool=self._pool
@@ -632,6 +644,12 @@ class IngestionService:
                 self._latency_total_s += latency_sum
             # The scheduler itself survives a poisoned batch and keeps
             # serving subsequent micro-batches.
+        finally:
+            if pin is not None:
+                # Refcount discipline: the sealed version is released when
+                # its last pinned consumer (this batch) finishes; the
+                # snapshot store drops non-head versions at zero pins.
+                pin.release()
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._lock:

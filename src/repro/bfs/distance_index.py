@@ -39,7 +39,8 @@ import struct
 from array import array
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.bfs.multi_source import multi_source_bfs
 from repro.graph.digraph import DiGraph
@@ -199,6 +200,72 @@ class CSRDistanceIndex:
 
         return cls(num_vertices, max_hops, pack(from_source), pack(to_target))
 
+    def copy(self) -> "CSRDistanceIndex":
+        """Deep copy (fresh row arrays) — the starting point for
+        :meth:`apply_delta` when the original must stay frozen."""
+        return CSRDistanceIndex(
+            self.num_vertices,
+            self.max_hops,
+            {s: array(TYPECODE, row) for s, row in self._from_rows.items()},
+            {t: array(TYPECODE, row) for t, row in self._to_rows.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental repair
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self,
+        graph,
+        edges_added: Iterable[Tuple[int, int]],
+        edges_removed: Iterable[Tuple[int, int]],
+    ) -> "CSRDistanceIndex":
+        """Repair the index in place for a batch of edge mutations.
+
+        ``graph`` is the **post-mutation** graph (a ``DiGraph`` or a sealed
+        ``CSRGraph`` — anything with ``csr_snapshot()``); ``edges_added`` /
+        ``edges_removed`` are the netted changes since the index was built
+        (e.g. from :meth:`repro.graph.snapshots.SnapshotStore.delta`).
+
+        Bounded-frontier re-relaxation (Ramalingam–Reps two-phase deletion
+        repair plus insertion relaxation), truncated at ``max_hops`` exactly
+        like :func:`build_index`'s BFS, so the repaired rows are
+        **byte-identical** to a fresh rebuild against the new graph — a
+        property the differential suite enforces.  Cost scales with the
+        region whose distances actually changed, not with ``|V| + |E|``.
+
+        Returns ``self`` for chaining.  Vertex-count changes cannot be
+        expressed as an edge delta; rebuild instead.
+        """
+        require(
+            graph.num_vertices == self.num_vertices,
+            "apply_delta cannot span a vertex-count change "
+            f"({self.num_vertices} -> {graph.num_vertices}); rebuild the index",
+        )
+        added = {(int(u), int(v)) for u, v in edges_added}
+        removed = {(int(u), int(v)) for u, v in edges_removed}
+        require(
+            not (added & removed),
+            "an edge appears in both edges_added and edges_removed; net the "
+            "delta first",
+        )
+        if not added and not removed:
+            return self
+        csr = graph.csr_snapshot()
+        fwd = csr.adjacency_lists(forward=True)
+        bwd = csr.adjacency_lists(forward=False)
+        for row in self._from_rows.values():
+            _repair_row(row, fwd, bwd, added, removed, self.max_hops)
+        if self._to_rows:
+            # Backward rows are BFS distances on Gr, where edge (u, v)
+            # appears as (v, u) and successor/predecessor roles swap.
+            swapped_added = {(v, u) for (u, v) in added}
+            swapped_removed = {(v, u) for (u, v) in removed}
+            for row in self._to_rows.values():
+                _repair_row(
+                    row, bwd, fwd, swapped_added, swapped_removed, self.max_hops
+                )
+        return self
+
     # ------------------------------------------------------------------ #
     # Mapping-compatible attribute API
     # ------------------------------------------------------------------ #
@@ -303,6 +370,11 @@ class CSRDistanceIndex:
         return sizes
 
     @property
+    def num_rows(self) -> int:
+        """Number of indexed endpoint rows (sources + targets)."""
+        return len(self._from_rows) + len(self._to_rows)
+
+    @property
     def size_in_entries(self) -> int:
         """Total number of *reachable* (vertex, distance) entries stored."""
         total = 0
@@ -388,6 +460,114 @@ class CSRDistanceIndex:
             f"sources={len(self._from_rows)}, targets={len(self._to_rows)}, "
             f"max_hops={self.max_hops})"
         )
+
+
+def _repair_row(
+    row: array,
+    succ: List[List[int]],
+    pred: List[List[int]],
+    added: Set[Tuple[int, int]],
+    removed: Set[Tuple[int, int]],
+    max_hops: int,
+) -> None:
+    """Repair one truncated single-source BFS row in place.
+
+    ``succ``/``pred`` are the **post-mutation** adjacency lists in the row's
+    search direction; edges in ``added`` are filtered out of phase 1 so the
+    deletion repair runs against exactly ``G_old - removed`` (call it
+    ``G_mid``), then phase 2 relaxes the added edges on the full new graph.
+
+    Phase 1a walks candidate vertices in increasing *old* distance and marks
+    a vertex affected when no surviving predecessor still supports its old
+    level — supports sit one level lower, so their verdicts are final by the
+    time a vertex is examined.  Phase 1b resets affected rows and reassigns
+    exact truncated ``G_mid`` distances with a unit-weight Dijkstra seeded
+    from the unaffected boundary.  Phase 2 is decrease-only relaxation from
+    the added edges, which restores exact ``G_new`` distances because any
+    improved shortest path must cross an added edge.
+    """
+    # -- Phase 1a: find vertices whose old distance lost all support ----- #
+    heap = []
+    for u, v in removed:
+        old_v = row[v]
+        old_u = row[u]
+        if (
+            old_v != UNREACHABLE
+            and old_v != 0
+            and old_u != UNREACHABLE
+            and old_u + 1 == old_v
+        ):
+            heappush(heap, (old_v, v))
+    affected: Set[int] = set()
+    visited: Set[int] = set()
+    while heap:
+        d, x = heappop(heap)
+        if x in visited:
+            continue
+        visited.add(x)
+        supported = False
+        for w in pred[x]:
+            if (w, x) in added:
+                continue
+            old_w = row[w]
+            if old_w != UNREACHABLE and old_w + 1 == d and w not in affected:
+                supported = True
+                break
+        if supported:
+            continue
+        affected.add(x)
+        for y in succ[x]:
+            if (x, y) in added or y in visited:
+                continue
+            if row[y] == d + 1:
+                heappush(heap, (d + 1, y))
+    # -- Phase 1b: recompute the affected region against G_mid ----------- #
+    if affected:
+        for x in affected:
+            row[x] = UNREACHABLE
+        heap = []
+        for x in affected:
+            for w in pred[x]:
+                if (w, x) in added:
+                    continue
+                old_w = row[w]
+                # Affected rows were just reset, so a finite row[w] means
+                # w is unaffected and already holds its exact G_mid value.
+                if old_w != UNREACHABLE and old_w + 1 <= max_hops:
+                    heappush(heap, (old_w + 1, x))
+        while heap:
+            d, x = heappop(heap)
+            if row[x] != UNREACHABLE:
+                continue
+            row[x] = d
+            if d + 1 > max_hops:
+                continue
+            for y in succ[x]:
+                if (x, y) in added:
+                    continue
+                if y in affected and row[y] == UNREACHABLE:
+                    heappush(heap, (d + 1, y))
+    # -- Phase 2: decrease-only relaxation from the added edges ---------- #
+    heap = []
+    for u, v in added:
+        old_u = row[u]
+        if old_u == UNREACHABLE:
+            continue
+        candidate = old_u + 1
+        if candidate <= max_hops and candidate < row[v]:
+            row[v] = candidate
+            heappush(heap, (candidate, v))
+    while heap:
+        d, x = heappop(heap)
+        if d > row[x]:
+            continue  # stale entry; x was improved further after the push
+        candidate = d + 1
+        if candidate > max_hops:
+            continue
+        for y in succ[x]:
+            if candidate < row[y]:
+                row[y] = candidate
+                heappush(heap, (candidate, y))
 
 
 @dataclass

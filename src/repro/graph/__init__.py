@@ -3,11 +3,15 @@
 The algorithms in this library operate on unweighted directed graphs with
 integer vertex ids in ``[0, n)``.  :class:`~repro.graph.digraph.DiGraph` is
 the primary container; :class:`~repro.graph.csr.CSRGraph` is an immutable
-compressed snapshot used by the hot enumeration loops.
+compressed snapshot used by the hot enumeration loops.  The graph is live:
+its :class:`~repro.graph.snapshots.SnapshotStore` (``graph.snapshots``)
+seals copy-on-write, refcounted CSR snapshots per version so mutation
+never disturbs in-flight consumers.
 """
 
 from repro.graph.digraph import DiGraph
 from repro.graph.csr import CSRGraph
+from repro.graph.snapshots import PinnedSnapshot, SnapshotStore
 from repro.graph.stats import GraphStats, compute_stats
 from repro.graph.generators import (
     paper_example_graph,
@@ -22,6 +26,8 @@ from repro.graph.sampling import sample_vertices, sample_edges, vertex_induced_s
 __all__ = [
     "DiGraph",
     "CSRGraph",
+    "SnapshotStore",
+    "PinnedSnapshot",
     "GraphStats",
     "compute_stats",
     "paper_example_graph",

@@ -15,7 +15,8 @@ enumerate paths in identical order.
 from __future__ import annotations
 
 from array import array
-from typing import List, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Sequence
 
 from repro.graph.digraph import DiGraph
 from repro.utils.validation import require
@@ -42,6 +43,7 @@ class CSRGraph:
     __slots__ = (
         "num_vertices",
         "num_edges",
+        "version",
         "_fwd_offsets",
         "_fwd_targets",
         "_bwd_offsets",
@@ -53,6 +55,9 @@ class CSRGraph:
     def __init__(self, graph: DiGraph) -> None:
         self.num_vertices = graph.num_vertices
         self.num_edges = graph.num_edges
+        # The DiGraph revision this snapshot was packed at; consumers use
+        # it to resolve deltas and to match artefacts to snapshots.
+        self.version = graph.version
         self._fwd_offsets, self._fwd_targets = self._pack(
             [graph.out_neighbors(v) for v in graph.vertices()]
         )
@@ -75,9 +80,15 @@ class CSRGraph:
         targets = array(TYPECODE)
         cursor = 0
         for v, neighbors in enumerate(adjacency):
-            sorted_neighbors = sorted(neighbors)
-            targets.extend(sorted_neighbors)
-            cursor += len(sorted_neighbors)
+            # DiGraph maintains adjacency sorted ascending at all times, so
+            # re-sorting here is pure waste — and snapshots are taken far
+            # more often under copy-on-write serving.  Keep the invariant
+            # checked in debug builds only.
+            assert all(
+                neighbors[i] < neighbors[i + 1] for i in range(len(neighbors) - 1)
+            ), f"adjacency of vertex {v} is not strictly sorted"
+            targets.extend(neighbors)
+            cursor += len(neighbors)
             offsets[v + 1] = cursor
         return offsets, targets
 
@@ -134,5 +145,45 @@ class CSRGraph:
             ]
         return self._bwd_lists  # repro: ignore[RA004] -- shared read-only cache
 
+    # ------------------------------------------------------------------ #
+    # DiGraph read-surface compatibility
+    #
+    # The enumeration stack (PathEnum/BasicEnum/BatchEnum, multi_source_bfs,
+    # detection) only ever *reads* the graph it is handed: neighbour lists,
+    # vertex/edge counts, ``vertices()``, ``has_edge`` and ``csr_snapshot``.
+    # Implementing that surface here lets a sealed snapshot stand in for the
+    # live ``DiGraph`` everywhere downstream — which is exactly how
+    # multi-version serving keeps in-flight batches on their pinned version.
+    # ------------------------------------------------------------------ #
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.neighbors(u, forward=True)
+        position = bisect_left(row, v)
+        return position < len(row) and row[position] == v
+
+    def csr_snapshot(self) -> "CSRGraph":
+        """A CSR view of this graph — already one; returns ``self``."""
+        return self
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The lazy list-of-lists caches are derived data; shipping them to
+        # worker processes would double the payload for no benefit.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_fwd_lists", "_bwd_lists")
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._fwd_lists = None
+        self._bwd_lists = None
+
     def __repr__(self) -> str:
-        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+        return (
+            f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"version={self.version})"
+        )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from bisect import insort
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
 
+from repro.graph.snapshots import SnapshotStore
 from repro.utils.validation import require, require_non_negative, require_vertex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -41,8 +42,7 @@ class DiGraph:
         self._in: List[List[int]] = [[] for _ in range(num_vertices)]
         self._edge_set: set[Edge] = set()
         self._version = 0
-        self._csr: "CSRGraph | None" = None
-        self._csr_version = -1
+        self._snapshots = SnapshotStore(self)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -79,30 +79,58 @@ class DiGraph:
             neighbors.sort()
         for neighbors in inn:
             neighbors.sort()
-        graph._version += 1
+        with graph._snapshots.lock:
+            graph._version += 1
+            graph._snapshots.note_barrier()
         return graph
 
     def add_vertex(self) -> int:
-        """Append a new isolated vertex and return its id."""
-        self._out.append([])
-        self._in.append([])
-        self._version += 1
-        return len(self._out) - 1
+        """Append a new isolated vertex and return its id.
+
+        A vertex-count change is a snapshot **barrier**: sealed snapshots of
+        earlier versions stay readable for their pinned consumers, but no
+        edge delta spans it (indexes must be rebuilt, not repaired).
+        """
+        with self._snapshots.lock:
+            self._out.append([])
+            self._in.append([])
+            self._version += 1
+            self._snapshots.note_barrier()
+            return len(self._out) - 1
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the directed edge ``(u, v)``.
 
         Raises ``ValueError`` on self loops, duplicate edges or out-of-range
-        endpoints.  The adjacency lists stay sorted ascending.
+        endpoints.  The adjacency lists stay sorted ascending.  Sealed
+        snapshots are unaffected (copy-on-write); the mutation is recorded
+        in the snapshot store's delta log.
         """
         require_vertex(u, self.num_vertices, "u")
         require_vertex(v, self.num_vertices, "v")
         require(u != v, f"self loops are not allowed (got edge ({u}, {v}))")
         require((u, v) not in self._edge_set, f"duplicate edge ({u}, {v})")
-        insort(self._out[u], v)
-        insort(self._in[v], u)
-        self._edge_set.add((u, v))
-        self._version += 1
+        with self._snapshots.lock:
+            insort(self._out[u], v)
+            insort(self._in[v], u)
+            self._edge_set.add((u, v))
+            self._version += 1
+            self._snapshots.note_edge("+", u, v)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``(u, v)``.
+
+        Raises ``ValueError`` if the edge does not exist.  Like
+        :meth:`add_edge`, this never disturbs sealed snapshots — in-flight
+        consumers keep seeing the edge until they move to a newer version.
+        """
+        require((u, v) in self._edge_set, f"no such edge ({u}, {v})")
+        with self._snapshots.lock:
+            self._out[u].remove(v)
+            self._in[v].remove(u)
+            self._edge_set.discard((u, v))
+            self._version += 1
+            self._snapshots.note_edge("-", u, v)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -112,12 +140,19 @@ class DiGraph:
         """Monotonic mutation counter.
 
         Incremented by every structural change (``add_edge``,
-        ``add_vertex``, bulk construction).  Long-running consumers — the
-        streaming engine and the ingestion service — pin this value when
-        they take a CSR snapshot and refuse to keep serving results if the
-        graph moves underneath them.
+        ``remove_edge``, ``add_vertex``, bulk construction).  Long-running
+        consumers — the streaming engine and the ingestion service — pin
+        the version they were admitted under via :attr:`snapshots` and keep
+        serving the sealed CSR of *that* version while newer batches plan
+        against the head; mutation never invalidates an in-flight stream.
         """
         return self._version
+
+    @property
+    def snapshots(self) -> SnapshotStore:
+        """The graph's multi-version snapshot store (see
+        :mod:`repro.graph.snapshots`)."""
+        return self._snapshots
 
     @property
     def num_vertices(self) -> int:
@@ -161,10 +196,20 @@ class DiGraph:
     # Derived graphs
     # ------------------------------------------------------------------ #
     def reverse(self) -> "DiGraph":
-        """Return ``Gr``: the graph with every edge direction flipped."""
+        """Return ``Gr``: the graph with every edge direction flipped.
+
+        Bulk O(V + E): the in/out adjacency lists of the reverse graph are
+        exactly this graph's out/in lists (already sorted), so they are
+        copied wholesale.  Routing each edge through ``add_edge``'s insort
+        would cost O(degree) per edge — quadratic on high-degree hubs.
+        """
         reversed_graph = DiGraph(self.num_vertices)
-        for u, v in self.edges():
-            reversed_graph.add_edge(v, u)
+        reversed_graph._out = [list(neighbors) for neighbors in self._in]
+        reversed_graph._in = [list(neighbors) for neighbors in self._out]
+        reversed_graph._edge_set = {(v, u) for (u, v) in self._edge_set}
+        with reversed_graph._snapshots.lock:
+            reversed_graph._version += 1
+            reversed_graph._snapshots.note_barrier()
         return reversed_graph
 
     def copy(self) -> "DiGraph":
@@ -175,20 +220,17 @@ class DiGraph:
         return [list(neighbors) for neighbors in self._out]
 
     def csr_snapshot(self) -> "CSRGraph":
-        """Return a :class:`~repro.graph.csr.CSRGraph` view of this graph.
+        """Return the sealed :class:`~repro.graph.csr.CSRGraph` of the
+        current (head) version.
 
-        The snapshot is cached and shared by every enumeration run until the
-        graph mutates (``add_edge``/``add_vertex``), at which point the next
-        call packs a fresh one.  This is what lets a whole batch — and every
-        worker processing shards of it — read adjacency from one flat,
-        immutable structure instead of re-walking the mutable lists.
+        Copy-on-write: repeated calls between mutations return the *same*
+        immutable object, and a mutation never touches an already-sealed
+        snapshot — the next call simply seals a fresh one while pinned
+        consumers keep reading theirs.  This is what lets a whole batch —
+        and every worker processing shards of it — read adjacency from one
+        flat, immutable structure while the live graph keeps moving.
         """
-        from repro.graph.csr import CSRGraph
-
-        if self._csr is None or self._csr_version != self._version:
-            self._csr = CSRGraph(self)
-            self._csr_version = self._version
-        return self._csr
+        return self._snapshots.seal()
 
     # ------------------------------------------------------------------ #
     # Dunder methods
@@ -205,15 +247,16 @@ class DiGraph:
         return id(self)
 
     def __getstate__(self) -> Dict[str, object]:
-        # The CSR snapshot is derived data; dropping it keeps worker-process
-        # payloads small and each process re-packs (and caches) its own.
+        # The snapshot store holds derived data plus a lock — neither is
+        # picklable nor meaningful across process boundaries; each process
+        # gets a fresh, empty store.
         state = self.__dict__.copy()
-        state["_csr"] = None
-        state["_csr_version"] = -1
+        del state["_snapshots"]
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
+        self._snapshots = SnapshotStore(self)
 
     def __repr__(self) -> str:
         return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.bfs.distance_index import CSRDistanceIndex, build_index
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.queries.query import HCSTQuery
 from repro.queries.similarity import QuerySimilarityMatrix
@@ -30,11 +31,17 @@ class QueryWorkload:
         queries: Sequence[HCSTQuery],
         stage_timer: Optional[StageTimer] = None,
         index: Optional[CSRDistanceIndex] = None,
+        csr: Optional[CSRGraph] = None,
     ) -> None:
         require(bool(queries), "a workload needs at least one query")
+        # The workload reads the sealed snapshot of the version it was
+        # admitted under (copy-on-write, RA002): later graph mutations
+        # never disturb its index or similarity matrix — concurrent
+        # batches simply pin different versions.
+        self.csr: CSRGraph = csr if csr is not None else graph.csr_snapshot()
         for query in queries:
-            require_vertex(query.s, graph.num_vertices, "query source")
-            require_vertex(query.t, graph.num_vertices, "query target")
+            require_vertex(query.s, self.csr.num_vertices, "query source")
+            require_vertex(query.t, self.csr.num_vertices, "query target")
         self.graph = graph
         self.queries: List[HCSTQuery] = list(queries)
         self.stage_timer = stage_timer if stage_timer is not None else StageTimer()
@@ -59,12 +66,7 @@ class QueryWorkload:
                     index.has_source(query.s) and index.has_target(query.t),
                     f"prebuilt index does not cover {query}",
                 )
-        # Snapshot-version pin (RA002): the lazily built index and
-        # similarity matrix are only valid for the graph revision the
-        # workload was created against.  ``index`` re-checks this on every
-        # access so a mid-batch graph mutation fails loudly instead of
-        # pruning against stale distances.
-        self.graph_version: int = graph.version
+        self.graph_version: int = self.csr.version
         self._index: Optional[CSRDistanceIndex] = index
         self._similarity: Optional[QuerySimilarityMatrix] = None
 
@@ -73,17 +75,17 @@ class QueryWorkload:
     # ------------------------------------------------------------------ #
     @property
     def index(self) -> CSRDistanceIndex:
-        """The batch distance index, built on first access ("BuildIndex")."""
-        require(
-            self.graph.version == self.graph_version,
-            f"graph mutated under workload (version {self.graph.version}, "
-            f"workload pinned {self.graph_version}); rebuild the workload",
-            RuntimeError,
-        )
+        """The batch distance index, built on first access ("BuildIndex").
+
+        Built against — and valid for — the workload's sealed snapshot
+        (:attr:`csr`, version :attr:`graph_version`).  Mutating the live
+        graph afterwards does not invalidate it; a later batch builds its
+        own workload against the new head.
+        """
         if self._index is None:
             with self.stage_timer.stage("BuildIndex"):
                 self._index = build_index(
-                    self.graph,
+                    self.csr,
                     self.sources,
                     self.targets,
                     self.max_hop_constraint,

@@ -14,3 +14,7 @@ class StaleIndexHolder:
 
 def peek_adjacency(graph, v):
     return graph._out[v]  # expect: RA002
+
+
+def peek_store(graph):
+    return graph._snapshots  # expect: RA002

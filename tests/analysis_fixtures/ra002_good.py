@@ -1,4 +1,5 @@
-"""Good fixture: version pinned at build time and re-checked on access."""
+"""Good fixture: version pinned at build time and re-checked on access,
+or the artefact resolved through the multi-version ``SnapshotStore``."""
 
 from repro.bfs.distance_index import build_index
 
@@ -13,6 +14,18 @@ class PinnedIndexHolder:
         if self.graph.version != self.graph_version:
             raise RuntimeError("graph mutated under the index")
         return self._index
+
+
+class StoreResolvedHolder:
+    """No explicit pin, but the sealed snapshot comes from the store —
+    it is immutable, so no ``*version*`` identifier is needed."""
+
+    def __init__(self, graph):
+        self._snapshot = graph.csr_snapshot()
+        self._lease = graph.snapshots.pin()
+
+    def close(self):
+        self._lease.release()
 
 
 def peek_adjacency(graph, v):

@@ -69,3 +69,46 @@ def test_isolated_vertices_have_no_neighbors():
     csr = CSRGraph(graph)
     assert list(csr.out_neighbors(2)) == []
     assert list(csr.in_neighbors(3)) == []
+
+
+def test_csr_carries_sealed_version_and_read_surface():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+    csr = graph.csr_snapshot()
+    assert csr.version == graph.version
+    # The CSR duck-types the DiGraph read surface the executors use.
+    assert csr.csr_snapshot() is csr
+    assert list(csr.vertices()) == list(graph.vertices())
+    assert csr.has_edge(0, 1) and not csr.has_edge(1, 0)
+    graph.add_edge(1, 0)
+    assert csr.version == graph.version - 1  # sealed: version frozen
+    assert not csr.has_edge(1, 0)  # sealed: contents frozen
+
+
+def test_csr_pickle_roundtrip_drops_lazy_caches():
+    import pickle
+
+    graph = random_directed_gnm(20, 70, seed=6)
+    csr = graph.csr_snapshot()
+    csr.adjacency_lists(forward=True)  # populate a lazy cache
+    clone = pickle.loads(pickle.dumps(csr))
+    assert clone.version == csr.version
+    assert clone.num_vertices == csr.num_vertices
+    assert clone.num_edges == csr.num_edges
+    for v in csr.vertices():
+        assert list(clone.out_neighbors(v)) == list(csr.out_neighbors(v))
+        assert list(clone.in_neighbors(v)) == list(csr.in_neighbors(v))
+
+
+def test_pack_asserts_on_unsorted_adjacency():
+    # _pack trusts DiGraph's sorted-adjacency invariant (no O(E log E)
+    # re-sort per snapshot); under __debug__ a violation must trip the
+    # guard instead of silently packing garbage.
+    class UnsortedGraph(DiGraph):
+        def out_neighbors(self, v):
+            return list(super().out_neighbors(v))[::-1]
+
+    graph = UnsortedGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+    import pytest
+
+    with pytest.raises(AssertionError):
+        CSRGraph(graph)

@@ -77,27 +77,36 @@ def test_workload_shared_index_built_once():
     assert workload.stage_timer.total("BuildIndex") >= 0.0
 
 
-def test_workload_index_raises_after_graph_mutation():
-    # Snapshot-version pin (RA002): the workload's lazily built index is
-    # only valid for the graph revision it was created against.
+def test_workload_index_survives_graph_mutation():
+    # Multi-version serving (RA002 via SnapshotStore): the workload pins
+    # the sealed snapshot of the version it was admitted under, so a later
+    # mutation never invalidates its index — it keeps answering for the
+    # pinned version while fresh workloads see the new head.
     graph = random_directed_gnm(40, 160, seed=3)
     workload = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
-    assert workload.index is workload.index  # built and cached while valid
+    pinned = workload.index
+    assert workload.index is pinned  # built and cached
     graph.add_edge(0, 39)
-    with pytest.raises(RuntimeError, match="graph mutated under workload"):
-        workload.index
-    # A workload built after the mutation pins the new version and works.
+    assert workload.index is pinned  # mutation did not disturb the pin
+    assert workload.graph_version == graph.version - 1
+    # A workload built after the mutation pins the new version and sees
+    # the new edge: 0 -> 39 makes 39 reachable from source 0 in one hop.
     fresh = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
     assert fresh.graph_version == graph.version
-    assert fresh.index.has_source(0)
+    assert fresh.index.dist_from(0, 39) == 1
 
 
-def test_workload_pin_catches_mutation_before_first_build():
+def test_workload_snapshot_pinned_before_first_build():
+    # The snapshot is sealed at construction time, so an index first
+    # built *after* a mutation still reflects the admitted version.
     graph = random_directed_gnm(40, 160, seed=4)
     workload = QueryWorkload(graph, [HCSTQuery(0, 5, 3)])
+    admitted_version = graph.version
+    assert not graph.has_edge(1, 38)
     graph.add_edge(1, 38)
-    with pytest.raises(RuntimeError, match="rebuild the workload"):
-        workload.index
+    assert workload.graph_version == admitted_version
+    assert not workload.csr.has_edge(1, 38)
+    assert workload.index.has_source(0)
 
 
 def test_workload_similarity_in_unit_interval():

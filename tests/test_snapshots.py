@@ -1,0 +1,254 @@
+"""Unit tests for the multi-version :class:`SnapshotStore` (PR 7).
+
+Covers the copy-on-write seal/pin/release lifecycle, the bounded mutation
+log behind ``delta()`` (netting, barriers, trim floor), the new
+``DiGraph.remove_edge`` mutator, the bulk ``reverse()`` path and
+pickling (the store holds an RLock, so it must be rebuilt on unpickle).
+"""
+
+import pickle
+import threading
+from bisect import insort as real_insort
+
+import pytest
+
+from repro.graph import digraph as digraph_module
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+from repro.graph.snapshots import DEFAULT_MAX_LOG, SnapshotStore
+
+
+# --------------------------------------------------------------------- #
+# Seal / pin / release lifecycle
+# --------------------------------------------------------------------- #
+def test_seal_caches_per_head_version_and_forgets_unpinned():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    first = graph.csr_snapshot()
+    assert graph.csr_snapshot() is first  # cached per head version
+    assert first.version == graph.version
+    old_version = graph.version
+    graph.add_edge(0, 2)
+    fresh = graph.csr_snapshot()
+    assert fresh is not first
+    assert fresh.version == graph.version == old_version + 1
+    # The unpinned old head was dropped by the mutation.
+    assert graph.snapshots.live_versions() == [graph.version]
+    with pytest.raises(KeyError, match="not live"):
+        graph.snapshots.resolve(old_version)
+
+
+def test_pin_refcounts_keep_old_versions_alive():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    store = graph.snapshots
+    pin_a = store.pin()
+    pin_b = store.pin()
+    assert pin_a.csr is pin_b.csr
+    assert store.pin_count(pin_a.version) == 2
+    pinned_version = pin_a.version
+
+    graph.add_edge(0, 2)  # mutation: pinned version must survive
+    assert store.resolve(pinned_version) is pin_a.csr
+    assert sorted(store.live_versions()) == [pinned_version]
+
+    pin_a.release()
+    assert store.pin_count(pinned_version) == 1
+    assert store.resolve(pinned_version) is pin_b.csr
+    pin_a.release()  # idempotent: counts at most once
+    assert store.pin_count(pinned_version) == 1
+
+    pin_b.release()
+    assert store.pin_count(pinned_version) == 0
+    with pytest.raises(KeyError):
+        store.resolve(pinned_version)
+
+
+def test_released_head_survives_as_snapshot_cache():
+    graph = DiGraph.from_edges([(0, 1)])
+    with graph.snapshots.pin() as pin:
+        head = pin.version
+        assert graph.snapshots.pin_count(head) == 1
+    # Context exit released the pin, but the head CSR stays cached.
+    assert graph.snapshots.pin_count(head) == 0
+    assert graph.snapshots.resolve(head) is graph.csr_snapshot()
+
+
+def test_pin_is_atomic_under_concurrent_mutation():
+    graph = random_directed_gnm(30, 120, seed=5)
+    stop = threading.Event()
+
+    def churn():
+        while not stop.is_set():
+            if graph.has_edge(0, 1):
+                graph.remove_edge(0, 1)
+            else:
+                graph.add_edge(0, 1)
+
+    thread = threading.Thread(target=churn, daemon=True)
+    thread.start()
+    try:
+        for _ in range(100):
+            with graph.snapshots.pin() as pin:
+                csr = pin.csr
+                # No torn packing: row structure internally consistent.
+                total = sum(
+                    len(csr.out_neighbors(v)) for v in csr.vertices()
+                )
+                assert total == csr.num_edges
+                for v in csr.vertices():
+                    row = csr.out_neighbors(v)
+                    assert all(
+                        row[i] < row[i + 1] for i in range(len(row) - 1)
+                    )
+    finally:
+        stop.set()
+        thread.join(timeout=5.0)
+
+
+def test_store_rejects_negative_log_bound():
+    graph = DiGraph.from_edges([(0, 1)])
+    with pytest.raises(ValueError):
+        SnapshotStore(graph, max_log=-1)
+
+
+# --------------------------------------------------------------------- #
+# Mutation log and delta()
+# --------------------------------------------------------------------- #
+def test_delta_nets_adds_removes_and_cancellations():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    start = graph.version
+    assert graph.snapshots.delta(start, start) == ([], [])
+    graph.add_edge(0, 2)       # net add
+    graph.remove_edge(1, 2)    # net remove
+    graph.add_edge(3, 0)       # add then remove: cancels out
+    graph.remove_edge(3, 0)
+    graph.remove_edge(2, 3)    # remove then re-add: cancels out
+    graph.add_edge(2, 3)
+    assert graph.snapshots.delta(start, graph.version) == (
+        [(0, 2)],
+        [(1, 2)],
+    )
+
+
+def test_delta_none_on_backwards_window_and_barrier():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    start = graph.version
+    graph.add_edge(0, 2)
+    assert graph.snapshots.delta(graph.version, start) is None  # backwards
+    graph.add_vertex()  # vertex-count change: delta cannot express it
+    assert graph.snapshots.delta(start, graph.version) is None
+    # A window opened after the barrier is coverable again.
+    after_barrier = graph.version
+    graph.add_edge(3, 0)
+    assert graph.snapshots.delta(after_barrier, graph.version) == (
+        [(3, 0)],
+        [],
+    )
+
+
+def test_delta_none_once_log_trims_past_from_version():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    start = graph.version
+    # Overflow the bounded log: the floor advances past `start`.
+    for _ in range(DEFAULT_MAX_LOG // 2 + 2):
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 1)
+    assert graph.snapshots.delta(start, graph.version) is None
+    # Recent windows inside the retained log still resolve.
+    recent = graph.version
+    graph.add_edge(0, 2)
+    assert graph.snapshots.delta(recent, graph.version) == ([(0, 2)], [])
+
+
+# --------------------------------------------------------------------- #
+# remove_edge
+# --------------------------------------------------------------------- #
+def test_remove_edge_updates_adjacency_version_and_counts():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+    before = graph.version
+    graph.remove_edge(0, 2)
+    assert graph.version == before + 1
+    assert not graph.has_edge(0, 2)
+    assert graph.num_edges == 2
+    assert list(graph.out_neighbors(0)) == [1]
+    assert list(graph.in_neighbors(2)) == [1]
+    # Sealed snapshot of the new head reflects the removal.
+    assert not graph.csr_snapshot().has_edge(0, 2)
+
+
+def test_remove_edge_validates_edge_exists():
+    graph = DiGraph.from_edges([(0, 1)])
+    with pytest.raises(ValueError, match="no such edge"):
+        graph.remove_edge(1, 0)
+    with pytest.raises(ValueError):
+        graph.remove_edge(0, 99)
+
+
+# --------------------------------------------------------------------- #
+# Bulk reverse(): the hub-graph quadratic regression
+# --------------------------------------------------------------------- #
+def test_reverse_bulk_path_never_calls_insort(monkeypatch):
+    # A hub: 199 edges all pointing at vertex 0.  The old implementation
+    # routed each reversed edge through add_edge's insort — O(deg) per
+    # edge, O(E * deg) total, quadratic on hubs.  The bulk path copies
+    # the already-sorted adjacency wholesale: zero insort calls, an
+    # edge-count-independent invariant (no wall-clock flakiness).
+    graph = DiGraph.from_edges([(i, 0) for i in range(1, 200)])
+    calls = []
+
+    def counting_insort(seq, item):
+        calls.append(item)
+        real_insort(seq, item)
+
+    monkeypatch.setattr(digraph_module, "insort", counting_insort)
+    reversed_graph = graph.reverse()
+    assert calls == []
+    assert reversed_graph.num_edges == graph.num_edges
+    assert all(reversed_graph.has_edge(0, i) for i in range(1, 200))
+    assert reversed_graph.reverse() == graph
+
+
+def test_reverse_is_a_snapshot_barrier_on_the_new_graph():
+    graph = random_directed_gnm(12, 40, seed=2)
+    reversed_graph = graph.reverse()
+    # The bulk rebuild is a barrier: no delta window reaches behind it.
+    assert (
+        reversed_graph.snapshots.delta(
+            reversed_graph.version - 1, reversed_graph.version
+        )
+        is None
+    )
+    # Windows opened after it are coverable as usual.
+    start = reversed_graph.version
+    reversed_graph.add_edge(*_first_missing_edge(reversed_graph))
+    added, removed = reversed_graph.snapshots.delta(
+        start, reversed_graph.version
+    )
+    assert len(added) == 1 and removed == []
+
+
+def _first_missing_edge(graph):
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u != v and not graph.has_edge(u, v):
+                return u, v
+    raise AssertionError("graph is complete")
+
+
+# --------------------------------------------------------------------- #
+# Pickling: the store (RLock) is dropped and rebuilt
+# --------------------------------------------------------------------- #
+def test_digraph_pickle_roundtrip_rebuilds_store():
+    graph = random_directed_gnm(15, 50, seed=7)
+    graph.add_edge(*_first_missing_edge(graph))
+    clone = pickle.loads(pickle.dumps(graph))
+    assert clone == graph
+    assert clone.version == graph.version
+    assert clone.snapshots is not graph.snapshots
+    # The rebuilt store works: seal, pin, mutate, delta.
+    start = clone.version
+    with clone.snapshots.pin() as pin:
+        assert pin.version == start
+        clone.add_edge(*_first_missing_edge(clone))
+        assert clone.snapshots.resolve(start) is pin.csr
+    delta = clone.snapshots.delta(start, clone.version)
+    assert delta is not None and len(delta[0]) == 1
