@@ -173,11 +173,19 @@ def _load_builtin_rules() -> None:
         rules_lock,
         rules_pool,
         rules_snapshot,
+        rules_telemetry,
     )
 
     # Imported for their @register side effect; referencing them here keeps
     # the import visibly intentional (and the linter quiet).
-    _ = (rules_generators, rules_internals, rules_lock, rules_pool, rules_snapshot)
+    _ = (
+        rules_generators,
+        rules_internals,
+        rules_lock,
+        rules_pool,
+        rules_snapshot,
+        rules_telemetry,
+    )
 
 
 def analyze_source(

@@ -1,0 +1,205 @@
+"""RA006 — telemetry-handle discipline.
+
+The observability layer (PR 8, ``repro.obs``) is opt-in by injection:
+``BatchQueryEngine(metrics=...)`` / ``serve(metrics=...)`` thread a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracing.Tracer` down through the planner, executor and
+snapshot store, and the default is the allocation-free
+``NULL_REGISTRY``/``NULL_TRACER``.  A module-level registry breaks every
+property that design buys:
+
+* tests can no longer isolate their metrics (state leaks between cases),
+* two engines in one process share counters and corrupt each other's
+  cost-model feedback,
+* the null-object fast path is bypassed, so *every* caller pays the
+  instrumentation cost, and
+* worker processes would pickle (or re-import) the global and silently
+  fork its state.
+
+Two checks keep handles injected:
+
+1. **No module-level telemetry singletons.**  A top-level
+   ``NAME = MetricsRegistry(...)`` or ``NAME = Tracer(...)`` assignment is
+   flagged.  Registries live in ``main()``s, fixtures, service
+   constructors — anywhere a caller can pass a fresh one in.
+2. **Telemetry calls resolve to an injected handle.**  A call
+   ``base.counter(...)`` / ``base.gauge(...)`` / ``base.histogram(...)``
+   / ``base.span(...)`` whose receiver is a *bare name bound at module
+   level* (import or top-level assignment) and not rebound anywhere in
+   the enclosing function-scope chain (parameter, local assignment,
+   ``with``/``for`` target, comprehension) is flagged.  Receivers that
+   are attributes (``self._metrics.counter``), locals
+   (``registry = resolve_registry(metrics)``) or parameters are the
+   sanctioned patterns and pass.
+
+``repro/obs/`` itself is exempt — it defines the primitives and the null
+singletons, so its internals legitimately name them at module level.
+The name-resolution walk prefers silence when it cannot tell (a receiver
+bound neither locally nor at module level — e.g. a builtin — is never
+flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set, Tuple
+
+from repro.analysis.astutil import FUNCTION_NODES, expr_text, walk_scope
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+#: Method names that mint or use a telemetry handle on a registry/tracer.
+TELEMETRY_METHODS = frozenset({"counter", "gauge", "histogram", "span"})
+
+#: Constructors that must never be bound to a module-level name.
+TELEMETRY_SINGLETON_TYPES = frozenset({"MetricsRegistry", "Tracer"})
+
+_SCOPE_OPENERS = FUNCTION_NODES + (ast.Lambda,)
+
+
+def _is_obs_package(module: SourceModule) -> bool:
+    return "repro/obs/" in module.posix_path
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Bare names bound by an assignment/loop/with target."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _scope_bindings(scope: ast.AST) -> Set[str]:
+    """Names bound *in* ``scope`` (parameters plus statement-level
+    bindings), without descending into nested scopes.  Names declared
+    ``global``/``nonlocal`` are excluded — assigning them does not create
+    a scope-local binding."""
+    names: Set[str] = set()
+    escaped: Set[str] = set()
+    if isinstance(scope, _SCOPE_OPENERS):
+        args = scope.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_target_names(node.target))
+        elif isinstance(node, FUNCTION_NODES + (ast.ClassDef,)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaped.update(node.names)
+    return names - escaped
+
+
+def _telemetry_call_base(node: ast.AST) -> Tuple[ast.Call, str]:
+    """``(call, receiver name)`` when ``node`` is ``name.<telemetry>()``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in TELEMETRY_METHODS
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node, node.func.value.id
+    return None, ""
+
+
+@register
+class TelemetryDisciplineRule(Rule):
+    rule_id = "RA006"
+    title = (
+        "telemetry handles are injected, never module-level globals "
+        "(no top-level MetricsRegistry/Tracer; counter/gauge/histogram/"
+        "span receivers must be locals, parameters or attributes)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if _is_obs_package(module):
+            return
+        module_names = _scope_bindings(module.tree)
+        yield from self._check_singletons(module)
+        yield from self._check_scope(module, module.tree, (), module_names)
+
+    def _check_singletons(self, module: SourceModule) -> Iterator[Finding]:
+        for node in walk_scope(module.tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+            else:
+                continue
+            for call in ast.walk(value):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id in TELEMETRY_SINGLETON_TYPES
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level {call.func.id}() singleton; construct "
+                        "registries/tracers where a caller can inject them "
+                        "(engine/service constructor arguments, test "
+                        "fixtures, main()) so state never leaks across "
+                        "engines or tests",
+                    )
+
+    def _check_scope(
+        self,
+        module: SourceModule,
+        scope: ast.AST,
+        enclosing: Tuple[Set[str], ...],
+        module_names: Set[str],
+    ) -> Iterator[Finding]:
+        """Flag telemetry calls whose receiver resolves to a module global.
+
+        ``enclosing`` is the chain of function-scope binding sets visible
+        here; class bodies do not extend it (their bindings are invisible
+        to nested functions) and do not reset it (methods still see the
+        enclosing functions' locals).
+        """
+        for node in walk_scope(scope):
+            call, base = _telemetry_call_base(node)
+            if (
+                call is not None
+                and not any(base in bindings for bindings in enclosing)
+                and base in module_names
+            ):
+                yield self.finding(
+                    module,
+                    call,
+                    f"telemetry call '{expr_text(call.func)}(...)' goes "
+                    f"through module-level global '{base}'; accept the "
+                    "registry/tracer as an argument (resolve_registry/"
+                    "resolve_tracer) or read it off an injected attribute",
+                )
+            if isinstance(node, _SCOPE_OPENERS):
+                yield from self._check_scope(
+                    module,
+                    node,
+                    enclosing + (_scope_bindings(node),),
+                    module_names,
+                )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_scope(
+                    module, node, enclosing, module_names
+                )

@@ -100,6 +100,12 @@ from repro.batch.results import (
 )
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
+from repro.obs.feedback import (
+    COST_ACTUAL_SECONDS_TOTAL,
+    COST_PREDICTED_UNITS_TOTAL,
+)
+from repro.obs.metrics import resolve_registry
+from repro.obs.tracing import resolve_tracer
 from repro.queries.query import HCSTQuery
 from repro.utils.validation import require
 
@@ -159,6 +165,13 @@ class BatchQueryEngine:
         planner (tests and benchmarks use this to force decisions).
     max_workers:
         Cap for ``"auto"`` resolution (defaults to ``os.cpu_count()``).
+    metrics / tracer:
+        Telemetry opt-in (see :mod:`repro.obs`): a
+        :class:`~repro.obs.metrics.MetricsRegistry` /
+        :class:`~repro.obs.tracing.Tracer` to record into.  Defaults to
+        the allocation-free no-op singletons, keeping the uninstrumented
+        path byte-identical.  Passing a registry also instruments the
+        graph's :class:`~repro.graph.snapshots.SnapshotStore` gauges.
     """
 
     def __init__(
@@ -169,6 +182,8 @@ class BatchQueryEngine:
         num_workers: NumWorkers = "auto",
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         require(
             algorithm in ALGORITHMS,
@@ -181,6 +196,14 @@ class BatchQueryEngine:
         self.num_workers = validate_num_workers(num_workers)
         self.cost_model = cost_model
         self.max_workers = max_workers
+        self.metrics = resolve_registry(metrics)
+        self.tracer = resolve_tracer(tracer)
+        if metrics is not None:
+            # Workers re-instantiate engines on CSRGraph snapshots, which
+            # carry no snapshot store — only instrument the live DiGraph.
+            store = getattr(graph, "snapshots", None)
+            if store is not None:
+                store.instrument(metrics)
 
     # ------------------------------------------------------------------ #
     # Planning API
@@ -205,6 +228,8 @@ class BatchQueryEngine:
             gamma=self.gamma,
             cost_model=self.cost_model,
             max_workers=self.max_workers,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         return planner.plan(
             queries, num_workers=self.num_workers, pool_ready=pool_ready
@@ -224,7 +249,12 @@ class BatchQueryEngine:
         across worker processes (see :mod:`repro.batch.executor`) results
         are identical to the single-process run, keyed by batch position.
         """
-        return drain(self._stream_core(list(queries), ordered=True))
+        queries = list(queries)
+        with self.tracer.span(
+            "batch",
+            tags={"queries": len(queries), "algorithm": self.algorithm},
+        ):
+            return drain(self._stream_core(queries, ordered=True))
 
     def stream(
         self,
@@ -319,6 +349,7 @@ class BatchQueryEngine:
             self.gamma,
             max_workers=max_workers,
             snapshot=snapshot,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------ #
@@ -360,8 +391,20 @@ class BatchQueryEngine:
                     gamma=self.gamma,
                     plan=plan,
                     pool=pool,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
                 )
         result = yield from flush_fragments(fragments, len(queries), ordered)
+        if plan is not None and plan.num_workers <= 1 and plan.shards:
+            # Predicted-vs-actual for sequentially executed plans (the
+            # parallel executor records per shard); together they cover
+            # every executed ExecutionPlan.
+            actual_seconds = result.stage_timer.total("Enumeration")
+            self.metrics.counter(COST_PREDICTED_UNITS_TOTAL).inc(
+                plan.total_estimated_cost
+            )
+            self.metrics.counter(COST_ACTUAL_SECONDS_TOTAL).inc(actual_seconds)
+            self.metrics.histogram("repro_shard_seconds").observe(actual_seconds)
         return result
 
     def _sequential_fragments(

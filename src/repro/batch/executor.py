@@ -69,6 +69,7 @@ were already flushed have already reached the consumer and are not lost.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,14 @@ from repro.bfs.distance_index import CSRDistanceIndex, build_index
 from repro.enumeration.paths import Path
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.obs.feedback import (
+    COST_ACTUAL_SECONDS_TOTAL,
+    COST_PREDICTED_UNITS_TOTAL,
+    SHIP_BYTES_TOTAL,
+    SHIP_SECONDS_TOTAL,
+)
+from repro.obs.metrics import resolve_registry
+from repro.obs.tracing import RemoteSpanRecorder, SpanContext, resolve_tracer
 from repro.queries.query import HCSTQuery
 from repro.queries.workload import QueryWorkload
 from repro.utils.timer import StageTimer
@@ -109,8 +118,13 @@ _WORKER_TASK_INDEX: Tuple[Optional[object], Optional[CSRDistanceIndex]] = (
 )
 
 #: A result fragment sent back by a worker: paths keyed by original batch
-#: position, the shard's sharing stats, and its stage-time totals.
-Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float]]
+#: position, the shard's sharing stats, its stage-time totals, and a
+#: telemetry meta dict — ``{"spans": [...], "index_source":
+#: "initializer"|"cache-hit"|"deserialized"|"rebuilt"|"none",
+#: "deserialize_seconds": float}``.  The spans are worker-side records
+#: parented to the submitting batch's span context; the parent re-homes
+#: them via ``Tracer.adopt`` on merge.
+Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float], dict]
 
 
 def _init_worker(graph: CSRGraph, config: dict) -> None:
@@ -133,25 +147,36 @@ def _init_worker(graph: CSRGraph, config: dict) -> None:
 
 def _resolve_task_index(
     index_key: Optional[object], index_bytes: Optional[bytes]
-) -> Optional[CSRDistanceIndex]:
+) -> Tuple[Optional[CSRDistanceIndex], str, float]:
     """The index a task should read: the initializer-shipped one (one-shot
     pools) or the task-shipped payload (persistent pools), deserialized once
     per worker per micro-batch — shards of the same batch share
-    ``index_key`` so later shards hit the one-slot cache."""
+    ``index_key`` so later shards hit the one-slot cache.
+
+    Returns ``(index, source, deserialize_seconds)`` where ``source`` is
+    how the index was obtained (``"initializer"``, ``"cache-hit"``,
+    ``"deserialized"``, or ``"none"`` when the worker must rebuild) — the
+    submit side turns this into the deserialize-cache hit/miss counters.
+    """
     global _WORKER_TASK_INDEX
     if index_bytes is None:
-        return _WORKER_INDEX
+        if _WORKER_INDEX is None:
+            return None, "none", 0.0
+        return _WORKER_INDEX, "initializer", 0.0
     cached_key, cached_index = _WORKER_TASK_INDEX
-    if cached_key != index_key or cached_index is None:
-        cached_index = CSRDistanceIndex.from_bytes(index_bytes)
-        _WORKER_TASK_INDEX = (index_key, cached_index)
-    return cached_index
+    if cached_key == index_key and cached_index is not None:
+        return cached_index, "cache-hit", 0.0
+    start = time.perf_counter()
+    cached_index = CSRDistanceIndex.from_bytes(index_bytes)
+    _WORKER_TASK_INDEX = (index_key, cached_index)
+    return cached_index, "deserialized", time.perf_counter() - start
 
 
 def _run_cluster_task(
     queries_by_position: Dict[int, HCSTQuery],
     index_key: Optional[object] = None,
     index_bytes: Optional[bytes] = None,
+    span_context: Optional[SpanContext] = None,
 ) -> Fragment:
     """Process one cluster inside a worker (``batch``/``batch+``)."""
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
@@ -163,9 +188,12 @@ def _run_cluster_task(
         max_detection_depth=config["max_detection_depth"],
     )
     stage_timer = StageTimer()
-    index = _resolve_task_index(index_key, index_bytes)
+    index, index_source, deserialize_seconds = _resolve_task_index(
+        index_key, index_bytes
+    )
     if index is None:
         # Rebuild plan: shard-local BFS over this cluster's endpoints.
+        index_source = "rebuilt"
         with stage_timer.stage("BuildIndex"):
             index = build_index(
                 graph,
@@ -175,10 +203,24 @@ def _run_cluster_task(
             )
     sharing = SharingStats(num_clusters=1)
     scratch = BatchResult(queries=[])
-    enumerator._process_cluster(
-        queries_by_position, index, stage_timer, scratch, sharing
-    )
-    return scratch.paths_by_position, sharing, stage_timer.totals
+    spans = RemoteSpanRecorder(span_context)
+    with spans.span(
+        "enumerate",
+        tags={
+            "kind": "cluster",
+            "positions": len(queries_by_position),
+            "index": index_source,
+        },
+    ):
+        enumerator._process_cluster(
+            queries_by_position, index, stage_timer, scratch, sharing
+        )
+    meta = {
+        "spans": spans.records,
+        "index_source": index_source,
+        "deserialize_seconds": deserialize_seconds,
+    }
+    return scratch.paths_by_position, sharing, stage_timer.totals, meta
 
 
 def _run_slice_task(
@@ -186,6 +228,7 @@ def _run_slice_task(
     queries: Sequence[HCSTQuery],
     index_key: Optional[object] = None,
     index_bytes: Optional[bytes] = None,
+    span_context: Optional[SpanContext] = None,
 ) -> Fragment:
     """Process one contiguous query slice inside a worker (per-query
     algorithms: the sequential runner is reused verbatim)."""
@@ -195,26 +238,43 @@ def _run_slice_task(
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
     assert graph is not None and config is not None, "worker not initialised"
     algorithm = config["algorithm"]
-    index = _resolve_task_index(index_key, index_bytes)
-    if index is not None and algorithm in ("basic", "basic+"):
-        # Shipped-index plan: run BasicEnum directly on the parent's global
-        # index (a covering superset of the slice's own — prunes
-        # identically) instead of re-running BFS for the slice.
-        enumerator = BasicEnum(
-            graph, optimize_search_order=algorithm.endswith("+")
-        )
-        workload = QueryWorkload(graph, list(queries), index=index)
-        sub_result = drain(enumerator.iter_run(queries, workload=workload))
-    else:
-        engine = BatchQueryEngine(
-            graph, algorithm=algorithm, gamma=config["gamma"], num_workers=1
-        )
-        sub_result = engine.run(queries)
+    index, index_source, deserialize_seconds = _resolve_task_index(
+        index_key, index_bytes
+    )
+    spans = RemoteSpanRecorder(span_context)
+    with spans.span(
+        "enumerate",
+        tags={"kind": "slice", "positions": len(positions), "index": index_source},
+    ):
+        if index is not None and algorithm in ("basic", "basic+"):
+            # Shipped-index plan: run BasicEnum directly on the parent's
+            # global index (a covering superset of the slice's own — prunes
+            # identically) instead of re-running BFS for the slice.
+            enumerator = BasicEnum(
+                graph, optimize_search_order=algorithm.endswith("+")
+            )
+            workload = QueryWorkload(graph, list(queries), index=index)
+            sub_result = drain(enumerator.iter_run(queries, workload=workload))
+        else:
+            engine = BatchQueryEngine(
+                graph, algorithm=algorithm, gamma=config["gamma"], num_workers=1
+            )
+            sub_result = engine.run(queries)
     paths_by_position = {
         position: sub_result.paths_by_position.get(local, [])
         for local, position in enumerate(positions)
     }
-    return paths_by_position, sub_result.sharing, sub_result.stage_timer.totals
+    meta = {
+        "spans": spans.records,
+        "index_source": index_source,
+        "deserialize_seconds": deserialize_seconds,
+    }
+    return (
+        paths_by_position,
+        sub_result.sharing,
+        sub_result.stage_timer.totals,
+        meta,
+    )
 
 
 class WorkerPool:
@@ -248,8 +308,12 @@ class WorkerPool:
         max_workers: int,
         max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
         snapshot: Optional[CSRGraph] = None,
+        metrics=None,
     ) -> None:
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
+        registry = resolve_registry(metrics)
+        registry.counter("repro_executor_pool_spawns_total").inc()
+        registry.gauge("repro_executor_pool_workers").set(max_workers)
         self.graph = graph
         self.algorithm = algorithm
         self.gamma = gamma
@@ -340,6 +404,8 @@ def stream_parallel(
     max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
     plan: "ExecutionPlan | None" = None,
     pool: Optional[WorkerPool] = None,
+    metrics=None,
+    tracer=None,
 ) -> FragmentStream:
     """Fragment generator over shard completions (``num_workers >= 2``).
 
@@ -418,7 +484,23 @@ def stream_parallel(
         ]
         worker_fn, make_args = _run_slice_task, lambda task: task
 
+    registry = resolve_registry(metrics)
+    span_tracer = resolve_tracer(tracer)
+    m_shards = registry.counter("repro_executor_shards_total")
+    m_predicted = registry.counter(COST_PREDICTED_UNITS_TOTAL)
+    m_actual = registry.counter(COST_ACTUAL_SECONDS_TOTAL)
+    m_shard_seconds = registry.histogram("repro_shard_seconds")
+    m_ship_bytes = registry.counter(SHIP_BYTES_TOTAL)
+    m_ship_seconds = registry.counter(SHIP_SECONDS_TOTAL)
+    m_cache_hits = registry.counter("repro_executor_deserialize_cache_hits_total")
+    m_cache_misses = registry.counter(
+        "repro_executor_deserialize_cache_misses_total"
+    )
+
     shipped_bytes = plan.index_bytes if plan.ship_index else None
+    # The worker-side span context: ``None`` (no tracing) costs nothing in
+    # the payload and workers skip recording entirely.
+    span_context = span_tracer.current_context()
     if pool is None:
         config = {
             "algorithm": algorithm,
@@ -435,32 +517,70 @@ def stream_parallel(
             initializer=_init_worker,
             initargs=(snapshot, config),
         )
-        extra_args: Tuple = ()
+        extra_args: Tuple = (None, None, span_context)
     else:
         # Persistent pool: the initializer already shipped the graph and
         # static config; this batch's index (if any) rides on each task
         # under a shared batch key.
         executor = pool
         extra_args = (
-            (pool.next_batch_key(), shipped_bytes) if shipped_bytes else ()
-        )
+            (pool.next_batch_key(), shipped_bytes)
+            if shipped_bytes
+            else (None, None)
+        ) + (span_context,)
     with stage_timer.stage("Enumeration"):
         futures: List = []
+        shard_by_future: Dict = {}
         try:
-            futures = [
-                executor.submit(worker_fn, *make_args(task), *extra_args)
-                for task in tasks
-            ]
+            ship_start = time.perf_counter()
+            with span_tracer.span(
+                "ship",
+                tags={
+                    "shards": len(tasks),
+                    "payload_bytes": len(shipped_bytes) if shipped_bytes else 0,
+                },
+            ):
+                for task, shard in zip(tasks, plan.shards):
+                    future = executor.submit(
+                        worker_fn, *make_args(task), *extra_args
+                    )
+                    futures.append(future)
+                    shard_by_future[future] = shard
+            m_shards.inc(len(futures))
+            registry.histogram("repro_executor_ship_submit_seconds").observe(
+                time.perf_counter() - ship_start
+            )
             for future in as_completed(futures):
-                paths_by_position, fragment_sharing, stage_totals = future.result()
-                for position in sorted(paths_by_position):
-                    result.record(position, paths_by_position[position])
-                # SharingStats.merge and StageTimer.add are commutative, so
-                # the completion order does not affect the merged totals.
-                sharing.merge(fragment_sharing)
-                for name, seconds in sorted(stage_totals.items()):
-                    if name != "Enumeration":  # already inside the stage
-                        stage_timer.add(name, seconds)
+                paths_by_position, fragment_sharing, stage_totals, meta = (
+                    future.result()
+                )
+                with span_tracer.span(
+                    "merge", tags={"positions": len(paths_by_position)}
+                ):
+                    for position in sorted(paths_by_position):
+                        result.record(position, paths_by_position[position])
+                    # SharingStats.merge and StageTimer.add are commutative,
+                    # so completion order does not affect the merged totals.
+                    sharing.merge(fragment_sharing)
+                    for name, seconds in sorted(stage_totals.items()):
+                        if name != "Enumeration":  # already inside the stage
+                            stage_timer.add(name, seconds)
+                # Predicted-vs-actual per shard: the feedback pair
+                # CostModel.from_observed recalibrates from.
+                shard = shard_by_future[future]
+                actual_seconds = stage_totals.get("Enumeration", 0.0)
+                m_predicted.inc(shard.estimated_cost)
+                m_actual.inc(actual_seconds)
+                m_shard_seconds.observe(actual_seconds)
+                index_source = meta.get("index_source")
+                if index_source == "cache-hit":
+                    m_cache_hits.inc()
+                elif index_source == "deserialized":
+                    m_cache_misses.inc()
+                    m_ship_seconds.inc(meta.get("deserialize_seconds", 0.0))
+                    if shipped_bytes is not None:
+                        m_ship_bytes.inc(len(shipped_bytes))
+                span_tracer.adopt(meta.get("spans") or ())
                 yield {
                     position: result.paths_by_position[position]
                     for position in sorted(paths_by_position)

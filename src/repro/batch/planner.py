@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -42,6 +43,16 @@ from repro.enumeration.search_order import estimate_side_cost
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.snapshots import PinnedSnapshot
+from repro.obs.feedback import (
+    INDEX_BUILD_ENTRIES_TOTAL,
+    INDEX_BUILD_SECONDS_TOTAL,
+    INDEX_DELTA_EDGE_ROWS_TOTAL,
+    INDEX_DELTA_SECONDS_TOTAL,
+    PLAN_INDEX_STRATEGY_TOTAL,
+    cost_model_fields_from_snapshot,
+)
+from repro.obs.metrics import resolve_registry
+from repro.obs.tracing import resolve_tracer
 from repro.queries.query import HCSTQuery
 from repro.queries.similarity import similarity_from_neighborhoods
 from repro.queries.workload import QueryWorkload
@@ -256,6 +267,26 @@ class CostModel:
         fields.update(overrides)
         return cls(**fields)
 
+    @classmethod
+    def from_observed(cls, registry, **overrides: float) -> "CostModel":
+        """Recalibrate from live traffic recorded in a metrics registry.
+
+        ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry` (or
+        any object with a ``snapshot()`` method, or an already-taken
+        snapshot dict).  The instrumented planner/executor record
+        predicted-cost-units vs. actual-enumeration-seconds, index-build
+        entries vs. seconds, delta-repair edge-rows vs. seconds, and
+        shipped bytes vs. deserialize seconds; each pair with signal
+        recalibrates the corresponding rate constant.  Fields without
+        observed signal keep their defaults, and explicit ``overrides``
+        win over both — so recalibration degrades gracefully on sparse
+        traffic instead of zeroing constants.
+        """
+        snapshot = registry.snapshot() if hasattr(registry, "snapshot") else registry
+        fields = cost_model_fields_from_snapshot(snapshot)
+        fields.update(overrides)
+        return cls(**fields)
+
 
 @dataclass
 class ShardPlan:
@@ -421,6 +452,11 @@ class QueryPlanner:
         Upper bound for ``num_workers="auto"`` (defaults to
         ``os.cpu_count()``); explicit integer worker requests are honoured
         beyond it.
+    metrics / tracer:
+        Telemetry sinks (see :mod:`repro.obs`); default to the no-op
+        singletons.  With a live registry every ``plan()`` records the
+        index strategy it resolved and the build/delta work it performed —
+        the feedback half of :meth:`CostModel.from_observed`.
     """
 
     def __init__(
@@ -430,6 +466,8 @@ class QueryPlanner:
         gamma: float = 0.5,
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self.graph = graph
         self.algorithm = algorithm
@@ -439,6 +477,10 @@ class QueryPlanner:
             max_workers = os.cpu_count() or 1
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self._metrics = resolve_registry(metrics)
+        self._tracer = resolve_tracer(tracer)
+        self._m_plans = self._metrics.counter("repro_plans_total")
+        self._m_plan_seconds = self._metrics.histogram("repro_plan_seconds")
         #: (direction, endpoint, budget) → frozenset neighbourhood, used by
         #: the admission hook; invalidated when the graph version moves.
         self._neighborhood_cache: Dict[Tuple, frozenset] = {}
@@ -477,6 +519,22 @@ class QueryPlanner:
         planning never leak into the batch.  An empty batch plans to a
         trivial sequential no-op.
         """
+        self._m_plans.inc()
+        start = time.perf_counter()
+        with self._tracer.span(
+            "plan", tags={"queries": len(queries), "algorithm": self.algorithm}
+        ):
+            plan = self._plan_impl(queries, num_workers, pool_ready, snapshot)
+        self._m_plan_seconds.observe(time.perf_counter() - start)
+        return plan
+
+    def _plan_impl(
+        self,
+        queries: Sequence[HCSTQuery],
+        num_workers: NumWorkers,
+        pool_ready: bool,
+        snapshot: Optional[Union[CSRGraph, PinnedSnapshot]],
+    ) -> ExecutionPlan:
         num_workers = validate_num_workers(num_workers)
         queries = list(queries)
         model = self.cost_model
@@ -528,10 +586,25 @@ class QueryPlanner:
             )
             index = workload.index
             self._index_cache = (endpoint_key, pinned_version, index)
+            self._metrics.counter(
+                PLAN_INDEX_STRATEGY_TOTAL, labels={"strategy": index_strategy}
+            ).inc()
+            if index_strategy == "built":
+                self._metrics.counter(INDEX_BUILD_SECONDS_TOTAL).inc(
+                    stage_timer.total("BuildIndex")
+                )
+                self._metrics.counter(INDEX_BUILD_ENTRIES_TOTAL).inc(
+                    index.size_in_entries
+                )
+        else:
+            self._metrics.counter(
+                PLAN_INDEX_STRATEGY_TOTAL, labels={"strategy": "none"}
+            ).inc()
         if clustered:
             assert workload is not None
-            with workload.stage_timer.stage("ClusterQuery"):
-                clusters = cluster_queries(workload, self.gamma)
+            with self._tracer.span("shard", tags={"queries": len(queries)}):
+                with workload.stage_timer.stage("ClusterQuery"):
+                    clusters = cluster_queries(workload, self.gamma)
 
         side_cost_cache: Dict[Tuple, float] = {}
         query_costs = [
@@ -629,8 +702,15 @@ class QueryPlanner:
             len(added) + len(removed), cached_index
         ):
             return None, "built"
+        start = time.perf_counter()
         with stage_timer.stage("BuildIndex"):
             repaired = cached_index.copy().apply_delta(csr, added, removed)
+        self._metrics.counter(INDEX_DELTA_SECONDS_TOTAL).inc(
+            time.perf_counter() - start
+        )
+        self._metrics.counter(INDEX_DELTA_EDGE_ROWS_TOTAL).inc(
+            (len(added) + len(removed)) * cached_index.num_rows
+        )
         return repaired, "delta"
 
     # ------------------------------------------------------------------ #

@@ -75,6 +75,8 @@ from repro.batch.planner import CostModel, NumWorkers, QueryPlanner
 from repro.batch.results import SharingStats
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import resolve_registry
+from repro.obs.tracing import resolve_tracer
 from repro.queries.query import HCSTQuery
 from repro.utils.validation import require
 
@@ -160,6 +162,13 @@ class ServiceStats:
     ``sharing`` accumulates the per-batch :class:`SharingStats`, so
     ``sharing.cache_reuse_count`` > 0 means cross-query sharing survived
     the move from closed batches to continuous ingestion.
+
+    ``mean_ticket_latency_s`` averages over *successfully resolved*
+    tickets only: failed and abandoned tickets carry no meaningful
+    service latency (a drain-on-close failure would register near-zero,
+    a deadline-expired one near-infinite) and would skew the mean either
+    way.  For percentiles, opt into a metrics registry
+    (``repro_service_ticket_latency_seconds``).
     """
 
     admitted: int
@@ -271,6 +280,7 @@ class IngestionService:
             "_batched_total",
             "_joined_fast_path",
             "_latency_total_s",
+            "_latency_count",
             "_sharing",
         }
     )
@@ -285,8 +295,12 @@ class IngestionService:
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
         start: bool = True,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self.policy = policy if policy is not None else AdmissionPolicy()
+        self._metrics = resolve_registry(metrics)
+        self._tracer = resolve_tracer(tracer)
         self._engine = BatchQueryEngine(
             graph,
             algorithm=algorithm,
@@ -294,6 +308,8 @@ class IngestionService:
             num_workers=num_workers,
             cost_model=cost_model,
             max_workers=max_workers,
+            metrics=metrics,
+            tracer=tracer,
         )
         # One planner serves both admission scoring (its neighbourhood memo
         # pays off under repeated endpoints) and per-batch planning.
@@ -303,6 +319,8 @@ class IngestionService:
             gamma=gamma,
             cost_model=cost_model,
             max_workers=max_workers,
+            metrics=metrics,
+            tracer=tracer,
         )
         self._num_workers = self._engine.num_workers
         self._lock = threading.Condition()
@@ -319,7 +337,19 @@ class IngestionService:
         self._batched_total = 0
         self._joined_fast_path = 0
         self._latency_total_s = 0.0
+        self._latency_count = 0
         self._sharing = SharingStats()
+        # Prefetched metric handles (no-ops unless a registry was passed);
+        # thread-safe in their own right, so updated outside self._lock.
+        self._m_admitted = self._metrics.counter("repro_service_admitted_total")
+        self._m_completed = self._metrics.counter("repro_service_completed_total")
+        self._m_failed = self._metrics.counter("repro_service_failed_total")
+        self._m_batches = self._metrics.counter("repro_service_batches_total")
+        self._m_joins = self._metrics.counter("repro_service_admission_join_total")
+        self._m_queue_depth = self._metrics.gauge("repro_service_queue_depth")
+        self._m_latency = self._metrics.histogram(
+            "repro_service_ticket_latency_seconds"
+        )
         if start:
             self.start()
 
@@ -420,7 +450,9 @@ class IngestionService:
             ticket = QueryTicket(query)
             self._pending.append(ticket)
             self._admitted += 1
+            self._m_queue_depth.set(len(self._pending))
             self._lock.notify_all()
+        self._m_admitted.inc()
         return ticket
 
     def submit_many(
@@ -432,7 +464,6 @@ class IngestionService:
     def stats(self) -> ServiceStats:
         """Consistent point-in-time :class:`ServiceStats` snapshot."""
         with self._lock:
-            resolved = self._completed + self._failed
             sharing = SharingStats()
             sharing.merge(self._sharing)
             return ServiceStats(
@@ -448,7 +479,9 @@ class IngestionService:
                     else 0.0
                 ),
                 mean_ticket_latency_s=(
-                    self._latency_total_s / resolved if resolved else 0.0
+                    self._latency_total_s / self._latency_count
+                    if self._latency_count
+                    else 0.0
                 ),
                 sharing=sharing,
             )
@@ -506,6 +539,7 @@ class IngestionService:
                 self._pending.popleft()
                 for _ in range(min(policy.max_batch_size, len(self._pending)))
             ]
+            self._m_queue_depth.set(len(self._pending))
             candidates = (
                 [
                     ticket
@@ -523,8 +557,10 @@ class IngestionService:
                 for ticket in joined:
                     self._pending.remove(ticket)
                 self._joined_fast_path += len(joined)
+                self._m_queue_depth.set(len(self._pending))
                 batch.extend(joined)
                 self._lock.notify_all()
+            self._m_joins.inc(len(joined))
         return batch
 
     def _join_pending_cluster(
@@ -563,10 +599,24 @@ class IngestionService:
 
     def _dispatch(self, batch: List[QueryTicket]) -> None:
         """Run one micro-batch through plan→execute, resolving tickets as
-        positions flush (``ordered=False``: first completion wins)."""
+        positions flush (``ordered=False``: first completion wins).
+
+        Wrapped in the trace's root ``batch`` span: the planner's ``plan``/
+        ``shard`` spans, the executor's ``ship``/``merge`` spans and the
+        worker-side ``enumerate`` spans (reparented on merge) all hang off
+        it, one trace per micro-batch.
+        """
+        with self._tracer.span(
+            "batch",
+            tags={"queries": len(batch), "algorithm": self.algorithm},
+        ):
+            self._dispatch_traced(batch)
+
+    def _dispatch_traced(self, batch: List[QueryTicket]) -> None:
         queries = [ticket.query for ticket in batch]
         resolved = 0
         latency_sum = 0.0
+        latency_count = 0
         pin = None
         try:
             # Pin the admitted version exactly once — one atomic seal of
@@ -619,22 +669,29 @@ class IngestionService:
                     result = stop.value
                     break
                 batch[position]._resolve(paths)
+                # Successful resolutions only: failed tickets used to be
+                # folded in as 0.0 latency, dragging the mean toward zero
+                # exactly when the service was misbehaving.
                 latency = batch[position].latency_s
-                latency_sum += latency if latency is not None else 0.0
+                if latency is not None:
+                    latency_sum += latency
+                    latency_count += 1
+                    self._m_latency.observe(latency)
                 resolved += 1
             with self._lock:
                 self._completed += resolved
                 self._batches_dispatched += 1
                 self._batched_total += len(batch)
                 self._latency_total_s += latency_sum
+                self._latency_count += latency_count
                 self._sharing.merge(result.sharing)
+            self._m_completed.inc(resolved)
+            self._m_batches.inc()
         except BaseException as error:  # noqa: BLE001 - forwarded to tickets
             failed = 0
             for ticket in batch:
                 if not ticket.done():
                     ticket._fail(error)
-                    latency = ticket.latency_s
-                    latency_sum += latency if latency is not None else 0.0
                     failed += 1
             with self._lock:
                 self._completed += resolved
@@ -642,6 +699,10 @@ class IngestionService:
                 self._batches_dispatched += 1
                 self._batched_total += len(batch)
                 self._latency_total_s += latency_sum
+                self._latency_count += latency_count
+            self._m_completed.inc(resolved)
+            self._m_failed.inc(failed)
+            self._m_batches.inc()
             # The scheduler itself survives a poisoned batch and keeps
             # serving subsequent micro-batches.
         finally:
@@ -655,17 +716,17 @@ class IngestionService:
         with self._lock:
             abandoned = list(self._pending)
             self._pending.clear()
+            self._m_queue_depth.set(0)
             self._lock.notify_all()
-        latency_sum = 0.0
         for ticket in abandoned:
             ticket._fail(error)
-            latency = ticket.latency_s
-            latency_sum += latency if latency is not None else 0.0
         with self._lock:
-            # Failed tickets enter the mean-latency denominator, so their
-            # queue time must enter the numerator too.
+            # Abandoned tickets count as failures but stay out of the
+            # latency mean — they were never served, so their queue time
+            # says nothing about service latency.
             self._failed += len(abandoned)
-            self._latency_total_s += latency_sum
+        if abandoned:
+            self._m_failed.inc(len(abandoned))
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
@@ -693,11 +754,16 @@ def serve(
     join_pending: bool = True,
     cost_model: Optional[CostModel] = None,
     max_workers: Optional[int] = None,
+    metrics=None,
+    tracer=None,
 ) -> IngestionService:
     """Start an :class:`IngestionService` in one call.
 
     The admission-policy knobs are accepted flat; pass an explicit
     :class:`AdmissionPolicy` to the class constructor for the full set.
+    ``metrics``/``tracer`` opt the whole pipeline (service, planner,
+    engine, executor, snapshot store) into telemetry — see
+    :mod:`repro.obs`.
 
     >>> from repro.graph.generators import paper_example_graph
     >>> from repro.queries.query import HCSTQuery
@@ -724,4 +790,6 @@ def serve(
         cost_model=cost_model,
         max_workers=max_workers,
         start=True,
+        metrics=metrics,
+        tracer=tracer,
     )

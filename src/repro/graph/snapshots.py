@@ -117,6 +117,36 @@ class SnapshotStore:
         # entries before it were trimmed or wiped by a barrier).
         self._log_floor = graph.version
         self._max_log = max_log
+        # Telemetry is off until instrument() is called; the flag keeps
+        # the uninstrumented mutation path free of even no-op gauge calls.
+        self._instrumented = False
+        self._gauge_live = None
+        self._gauge_pins = None
+        self._gauge_log = None
+
+    def instrument(self, metrics) -> None:
+        """Attach gauges from a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Idempotent; passing ``None`` detaches.  The gauges track live
+        sealed versions, the summed pin refcount and the mutation-log
+        length, refreshed on every store transition.
+        """
+        with self._lock:
+            if metrics is None:
+                self._instrumented = False
+                self._gauge_live = self._gauge_pins = self._gauge_log = None
+                return
+            self._gauge_live = metrics.gauge("repro_snapshot_live_versions")
+            self._gauge_pins = metrics.gauge("repro_snapshot_pinned_refcount_total")
+            self._gauge_log = metrics.gauge("repro_snapshot_mutation_log_entries")
+            self._instrumented = True
+            self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        """Push current store state into the gauges (caller holds lock)."""
+        self._gauge_live.set(len(self._sealed))
+        self._gauge_pins.set(sum(self._pins.values()))
+        self._gauge_log.set(len(self._log))
 
     # ------------------------------------------------------------------ #
     # Sealing and pinning
@@ -136,6 +166,8 @@ class SnapshotStore:
             if csr is None:
                 csr = CSRGraph(self._graph)
                 self._sealed[head] = csr
+                if self._instrumented:
+                    self._refresh_gauges()
             return csr
 
     def pin(self) -> PinnedSnapshot:
@@ -148,6 +180,8 @@ class SnapshotStore:
         with self._lock:
             csr = self.seal()
             self._pins[csr.version] = self._pins.get(csr.version, 0) + 1
+            if self._instrumented:
+                self._refresh_gauges()
             return PinnedSnapshot(self, csr)
 
     def release(self, version: int) -> None:
@@ -164,10 +198,12 @@ class SnapshotStore:
                 return
             if count > 1:
                 self._pins[version] = count - 1
-                return
-            del self._pins[version]
-            if version != self._graph.version:
-                self._sealed.pop(version, None)
+            else:
+                del self._pins[version]
+                if version != self._graph.version:
+                    self._sealed.pop(version, None)
+            if self._instrumented:
+                self._refresh_gauges()
 
     def resolve(self, version: int) -> "CSRGraph":
         """The sealed CSR of ``version``; raises ``KeyError`` if it is not
@@ -206,6 +242,8 @@ class SnapshotStore:
                 trimmed_version, _, _, _ = self._log.popleft()
                 # Deltas starting before the trimmed entry are incomplete.
                 self._log_floor = max(self._log_floor, trimmed_version)
+            if self._instrumented:
+                self._refresh_gauges()
 
     def note_barrier(self) -> None:
         """Record a structural change deltas cannot express (vertex count
@@ -214,6 +252,8 @@ class SnapshotStore:
             self._forget_unpinned()
             self._log.clear()
             self._log_floor = self._graph.version
+            if self._instrumented:
+                self._refresh_gauges()
 
     def _forget_unpinned(self) -> None:
         """Drop sealed CSRs that are neither pinned nor the head.

@@ -1,0 +1,23 @@
+"""Bad fixture: process-global telemetry — a module-level registry/tracer
+singleton, and counter/gauge/histogram/span calls routed through
+module-level globals instead of injected handles."""
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry, Tracer
+
+METRICS = MetricsRegistry()  # expect: RA006
+TRACER = Tracer()  # expect: RA006
+
+
+def record_batch(n):
+    METRICS.counter("repro_batches_total").inc()  # expect: RA006
+    with TRACER.span("batch"):  # expect: RA006
+        return n
+
+
+class GlobalDepthReporter:
+    def report(self, depth):
+        METRICS.gauge("repro_queue_depth").set(depth)  # expect: RA006
+
+
+def observe_noop(value):
+    NULL_REGISTRY.histogram("repro_latency_seconds").observe(value)  # expect: RA006

@@ -1,0 +1,36 @@
+"""Good fixture: telemetry handles are injected — constructor arguments
+resolved through the null-object default, parameters, and locals.  A
+parameter shadowing a module-level name is also fine: the receiver binds
+in the function scope, not at module level."""
+
+from repro.obs import MetricsRegistry, resolve_registry, resolve_tracer
+
+#: Not a registry — just a module global whose *name* a parameter reuses.
+METRICS = None
+
+
+class InstrumentedService:
+    def __init__(self, metrics=None, tracer=None):
+        self._metrics = resolve_registry(metrics)
+        self._tracer = resolve_tracer(tracer)
+        self._m_batches = self._metrics.counter("repro_batches_total")
+
+    def dispatch(self, batch):
+        with self._tracer.span("batch", tags={"queries": len(batch)}):
+            self._m_batches.inc()
+            self._metrics.gauge("repro_queue_depth").set(0)
+
+
+def observe_latency(metrics, value):
+    registry = resolve_registry(metrics)
+    registry.histogram("repro_latency_seconds").observe(value)
+
+
+def shadowed_receiver(METRICS, value):
+    METRICS.counter("repro_shadowed_total").inc(value)
+
+
+def fresh_local_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_local_total").inc()
+    return registry.snapshot()

@@ -33,7 +33,7 @@ from repro.analysis.core import _REGISTRY
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURE_DIR = Path(__file__).resolve().parent / "analysis_fixtures"
 
-RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005")
+RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006")
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*(RA\d{3})")
 
@@ -188,6 +188,41 @@ def test_ra003_resolves_local_alias_to_module_level_function():
     )
     assert analyze_source(good) == []
     assert [finding.rule_id for finding in analyze_source(bad)] == ["RA003"]
+
+
+def test_ra006_exempt_inside_obs_package():
+    source = (
+        "from repro.obs import MetricsRegistry\n"
+        "NULL = MetricsRegistry()\n"
+        "def warm():\n"
+        "    NULL.counter('repro_warm_total').inc()\n"
+    )
+    inside = analyze_source(source, path="src/repro/obs/metrics.py")
+    outside = analyze_source(source, path="src/repro/batch/patch.py")
+    assert inside == []
+    assert [finding.rule_id for finding in outside] == ["RA006", "RA006"]
+
+
+def test_ra006_closure_sees_enclosing_function_binding():
+    source = (
+        "def make_reporter(metrics):\n"
+        "    registry = metrics\n"
+        "    def report():\n"
+        "        registry.counter('repro_total').inc()\n"
+        "    return report\n"
+    )
+    assert analyze_source(source) == []
+
+
+def test_ra006_class_body_does_not_leak_bindings_into_methods():
+    source = (
+        "from repro.obs import resolve_registry\n"
+        "registry = resolve_registry(None)\n"
+        "class Reporter:\n"
+        "    def report(self):\n"
+        "        registry.gauge('repro_depth').set(1)\n"
+    )
+    assert [finding.rule_id for finding in analyze_source(source)] == ["RA006"]
 
 
 def test_ra001_nested_closure_does_not_inherit_lock_state():

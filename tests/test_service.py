@@ -434,16 +434,50 @@ def test_admission_neighborhood_cache_is_bounded(monkeypatch):
     assert len(planner._neighborhood_cache) <= 4
 
 
-def test_failed_ticket_latency_counts_toward_mean():
+def test_failed_tickets_excluded_from_latency_mean():
+    """Failed/abandoned tickets must not enter the latency mean at all.
+
+    The pre-fix accounting divided by completed+failed (and folded failed
+    tickets' queue time into the numerator), so a batch of failures
+    dragged the reported mean toward zero exactly when the service was
+    misbehaving.  Now the mean covers successful resolutions only.
+    """
     import time as _time
 
     service = IngestionService(_GRAPH, algorithm="batch+", start=False)
     service.submit_many(_QUERIES)
-    _time.sleep(0.05)  # queue time the failed tickets must account for
+    _time.sleep(0.05)
     service.close(drain=False)
     stats = service.stats()
     assert stats.failed == len(_QUERIES)
-    assert stats.mean_ticket_latency_s > 0.0
+    assert stats.completed == 0
+    # No successful resolution happened, so there is no mean to report.
+    assert stats.mean_ticket_latency_s == 0.0
+
+
+def test_latency_mean_unaffected_by_failed_batch():
+    """A mixed run: the mean must equal the successful tickets' own mean,
+    with the failed batch contributing nothing to either side."""
+    service = IngestionService(
+        _GRAPH,
+        algorithm="batch+",
+        policy=AdmissionPolicy(max_batch_size=len(_QUERIES), max_delay_s=0.01),
+    )
+    try:
+        good = service.submit_many(_QUERIES)
+        for ticket in good:
+            ticket.result(timeout=TIMEOUT)
+        # A query whose endpoints are outside the graph fails its whole
+        # (single-query) micro-batch.
+        bad = service.submit(HCSTQuery(_GRAPH.num_vertices + 5, 0, 3))
+        with pytest.raises(Exception):
+            bad.result(timeout=TIMEOUT)
+        stats = service.stats()
+        assert stats.failed >= 1
+        expected = sum(t.latency_s for t in good) / len(good)
+        assert stats.mean_ticket_latency_s == pytest.approx(expected, rel=1e-6)
+    finally:
+        service.close()
 
 
 def test_ticket_result_timeout_on_unstarted_service():
