@@ -4,9 +4,21 @@ The execution environment is offline and has no ``wheel`` package, so the
 PEP 660 editable-install path (which builds a wheel) is unavailable.  This
 ``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
 (or plain ``python setup.py develop``) fall back to the classic editable
-install.  All project metadata lives in ``pyproject.toml``.
+install.
+
+The core package is deliberately stdlib-only.  numpy is an *optional*
+extra (``pip install -e .[kernels]``) that unlocks the vectorized
+enumeration kernels in :mod:`repro.enumeration.kernels`; without it the
+pure-Python loops remain the (byte-identical) substrate.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hcst",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={
+        "kernels": ["numpy>=1.24"],
+    },
+)

@@ -25,7 +25,12 @@ receiver's spelling contains ``pool`` or ``executor``:
 Additionally, for *any* call carrying pool-style keywords:
 
 * ``initializer=`` must resolve to a module-level/imported callable;
-* ``initargs=`` must not contain lambdas or nested functions.
+* ``initargs=`` must not contain lambdas, nested functions, nested
+  classes or instances of nested classes.  Initargs are *data*, so —
+  unlike the callable positions above — attribute reads are fine: a
+  ``SharedCSRHandle`` pulled off ``shared.handle`` pickles because the
+  handle class is module-level (that is precisely what this distinction
+  protects; a handle class defined inside a function would not).
 
 The receiver-name heuristic keeps the rule honest about what static
 analysis can know: ``service.submit(query)`` (a queue, not a pool) is
@@ -53,14 +58,17 @@ POOLISH_RECEIVERS = ("pool", "executor")
 
 
 class _Scope:
-    """Alias bindings and nested-def names of one function scope."""
+    """Alias bindings, nested-def and nested-class names of one scope."""
 
     def __init__(self, function: ast.AST) -> None:
         self.bindings: Dict[str, List[ast.expr]] = {}
         self.nested_defs: Set[str] = set()
+        self.nested_classes: Set[str] = set()
         for node in walk_scope(function):
             if isinstance(node, FUNCTION_NODES):
                 self.nested_defs.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.nested_classes.add(node.name)
             elif isinstance(node, ast.Assign):
                 for name, value in assigned_name_pairs(node):
                     self.bindings.setdefault(name, []).append(value)
@@ -122,16 +130,15 @@ class PoolBoundaryRule(Rule):
                     )
             elif keyword.arg == "initargs":
                 for node in ast.walk(keyword.value):
-                    if isinstance(node, ast.Lambda) or (
-                        isinstance(node, ast.Name)
-                        and self._classify(node, scopes) is not None
-                    ):
+                    if isinstance(
+                        node, (ast.Lambda, ast.Name)
+                    ) and self._classify_data(node, scopes):
                         yield self.finding(
                             module,
                             node,
                             "pool initargs contain a value that cannot cross "
-                            "the process boundary (lambda or nested "
-                            "function); ship module-level state only",
+                            "the process boundary (lambda, nested function "
+                            "or nested class); ship module-level state only",
                         )
 
     @staticmethod
@@ -173,4 +180,43 @@ class PoolBoundaryRule(Rule):
             if isinstance(base, ast.Name) and base.id in self._imported_modules:
                 return None  # module attribute, e.g. operator.add
             return f"bound method or instance attribute '{expr_text(node)}'"
+        return None
+
+    def _classify_data(
+        self, node: ast.expr, scopes: List[_Scope]
+    ) -> Optional[str]:
+        """Why ``node`` cannot be pickled as a *data* value (None = no
+        proof).
+
+        Data crossing the pool boundary (initargs) may legitimately come
+        from attribute reads — a shared-memory handle off
+        ``shared.handle`` pickles fine because its class is module-level.
+        What provably does not pickle: lambdas, nested functions, nested
+        classes, and instances of nested classes (pickle resolves the
+        class by qualified name, which a function-local class lacks).
+        """
+        if isinstance(node, ast.Lambda):
+            return "a lambda"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            for scope in reversed(scopes):
+                if node.func.id in scope.nested_classes:
+                    return f"an instance of nested class '{node.func.id}'"
+            return None
+        if isinstance(node, ast.Name):
+            name = node.id
+            for scope in reversed(scopes):
+                if name in scope.nested_defs:
+                    return f"nested function '{name}'"
+                if name in scope.nested_classes:
+                    return f"nested class '{name}'"
+            for scope in reversed(scopes):
+                bindings = scope.bindings.get(name)
+                if not bindings:
+                    continue
+                for value in bindings:
+                    verdict = self._classify_data(value, scopes)
+                    if verdict is not None:
+                        return f"'{name}', bound to {verdict}"
+                return None
+            return None
         return None

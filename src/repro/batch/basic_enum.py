@@ -35,11 +35,21 @@ from repro.utils.timer import StageTimer
 
 
 class BasicEnum:
-    """Batch baseline: shared index, independent per-query enumeration."""
+    """Batch baseline: shared index, independent per-query enumeration.
 
-    def __init__(self, graph: DiGraph, optimize_search_order: bool = False) -> None:
+    ``kernel`` is forwarded to the underlying :class:`PathEnum` — see
+    :mod:`repro.enumeration.kernels` for the selection semantics.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        optimize_search_order: bool = False,
+        kernel: str = "python",
+    ) -> None:
         self.graph = graph
         self.optimize_search_order = optimize_search_order
+        self.kernel = kernel
 
     @property
     def name(self) -> str:
@@ -82,6 +92,7 @@ class BasicEnum:
             self.graph,
             index=index,
             optimize_search_order=self.optimize_search_order,
+            kernel=self.kernel,
         )
         with stage_timer.stage("Enumeration"):
             for position, query in enumerate(queries):
@@ -94,20 +105,26 @@ def run_pathenum_baseline(
     graph: DiGraph,
     queries: Sequence[HCSTQuery],
     optimize_search_order: bool = False,
+    kernel: str = "python",
 ) -> BatchResult:
     """Process each query independently with its own per-query index."""
-    return drain(iter_pathenum_baseline(graph, queries, optimize_search_order))
+    return drain(
+        iter_pathenum_baseline(graph, queries, optimize_search_order, kernel)
+    )
 
 
 def iter_pathenum_baseline(
     graph: DiGraph,
     queries: Sequence[HCSTQuery],
     optimize_search_order: bool = False,
+    kernel: str = "python",
 ) -> FragmentStream:
     """Fragment generator for the per-query PathEnum baseline."""
 
     def enumerate_one(query: HCSTQuery):
-        enumerator = PathEnum(graph, optimize_search_order=optimize_search_order)
+        enumerator = PathEnum(
+            graph, optimize_search_order=optimize_search_order, kernel=kernel
+        )
         return enumerator.enumerate(query)
 
     return per_query_fragments(queries, enumerate_one, "PathEnum")

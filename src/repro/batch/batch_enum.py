@@ -34,6 +34,7 @@ from repro.bfs.distance_index import (
     densify_distances,
 )
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
+from repro.enumeration.kernels import enumerate_node_paths, resolve_kernel
 from repro.enumeration.paths import Path
 from repro.enumeration.search_order import choose_budget_split
 from repro.graph.digraph import DiGraph
@@ -59,6 +60,12 @@ class BatchEnum:
         Clustering threshold γ of Algorithm 2 (paper default 0.5).
     optimize_search_order:
         Enable the "+" variant's adaptive budget split.
+    kernel:
+        ``"python"`` (default) runs the explicit-stack node enumeration;
+        ``"numpy"`` runs the byte-identical vectorized kernel of
+        :mod:`repro.enumeration.kernels` (raises when numpy is absent).
+        ``"auto"`` resolves to ``"python"`` here — cost-aware selection is
+        the planner's job.
     """
 
     def __init__(
@@ -67,11 +74,13 @@ class BatchEnum:
         gamma: float = 0.5,
         optimize_search_order: bool = False,
         max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
+        kernel: str = "python",
     ) -> None:
         require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
         self.graph = graph
         self.gamma = gamma
         self.optimize_search_order = optimize_search_order
+        self.kernel = resolve_kernel(kernel)
         # How deep DetectCommonQuery expands the joint frontier beyond the
         # root vertices; None reproduces Algorithm 3 exactly (full depth),
         # the default of 1 keeps the detection overhead negligible on the
@@ -259,7 +268,6 @@ class BatchEnum:
         """
         psi = outcome.sharing_graph
         forward = node.direction is Direction.FORWARD
-        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
         index = outcome.index
         queries_by_position = outcome.queries_by_position
         budget_by_position = outcome.budget_by_position
@@ -334,6 +342,29 @@ class BatchEnum:
             if forward:
                 return length == budget or path_last in served_endpoints
             return True
+
+        if self.kernel == "numpy":
+            # Providers are handed over as (budget, fetch) pairs; fetch is
+            # a live cache.get closure so the reuse statistics count one
+            # access per splice, exactly like the loop below.
+            eligible_providers = {
+                vertex: (provider.budget, (lambda p=provider: cache.get(p)))
+                for vertex, provider in providers_at.items()
+                if provider != node and provider in cache
+            }
+            offsets, targets = self.graph.csr_snapshot().flat(forward)
+            return enumerate_node_paths(
+                offsets,
+                targets,
+                node.vertex,
+                budget,
+                distance_rows,
+                served_endpoints,
+                keep_all,
+                forward,
+                eligible_providers,
+            )
+        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
 
         results: List[Path] = []
         if should_record(node.vertex, 0):

@@ -98,6 +98,7 @@ from repro.batch.results import (
     ResultStream,
     drain,
 )
+from repro.enumeration.kernels import resolve_kernel, validate_kernel
 from repro.enumeration.paths import Path
 from repro.graph.digraph import DiGraph
 from repro.obs.feedback import (
@@ -165,6 +166,19 @@ class BatchQueryEngine:
         planner (tests and benchmarks use this to force decisions).
     max_workers:
         Cap for ``"auto"`` resolution (defaults to ``os.cpu_count()``).
+    kernel:
+        Enumeration substrate: ``"auto"`` (default) lets the planner route
+        heavy shards to the vectorized numpy kernel when numpy is
+        available (unplanned sequential runs stay pure-Python),
+        ``"python"`` pins the pure-Python loops everywhere, ``"numpy"``
+        forces the vectorized kernel (raises here when numpy is absent).
+        Every kernel produces byte-identical results — the differential
+        suite pins this.
+    use_shm:
+        Zero-copy transport policy for worker pools: ``"auto"`` (default)
+        ships the sealed CSR (and large index payloads) through POSIX
+        shared memory when the platform supports it; ``False`` pins the
+        pickle transport.
     metrics / tracer:
         Telemetry opt-in (see :mod:`repro.obs`): a
         :class:`~repro.obs.metrics.MetricsRegistry` /
@@ -182,6 +196,8 @@ class BatchQueryEngine:
         num_workers: NumWorkers = "auto",
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
+        kernel: str = "auto",
+        use_shm="auto",
         metrics=None,
         tracer=None,
     ) -> None:
@@ -190,12 +206,15 @@ class BatchQueryEngine:
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}",
         )
         require(0.0 <= gamma <= 1.0, "gamma must be within [0, 1]")
+        validate_kernel(kernel)
         self.graph = graph
         self.algorithm = algorithm
         self.gamma = gamma
         self.num_workers = validate_num_workers(num_workers)
         self.cost_model = cost_model
         self.max_workers = max_workers
+        self.kernel = kernel
+        self.use_shm = use_shm
         self.metrics = resolve_registry(metrics)
         self.tracer = resolve_tracer(tracer)
         if metrics is not None:
@@ -228,6 +247,8 @@ class BatchQueryEngine:
             gamma=self.gamma,
             cost_model=self.cost_model,
             max_workers=self.max_workers,
+            kernel=self.kernel,
+            use_shm=self.use_shm,
             metrics=self.metrics,
             tracer=self.tracer,
         )
@@ -349,6 +370,7 @@ class BatchQueryEngine:
             self.gamma,
             max_workers=max_workers,
             snapshot=snapshot,
+            use_shm=self.use_shm,
             metrics=self.metrics,
         )
 
@@ -391,6 +413,7 @@ class BatchQueryEngine:
                     gamma=self.gamma,
                     plan=plan,
                     pool=pool,
+                    use_shm=self.use_shm,
                     metrics=self.metrics,
                     tracer=self.tracer,
                 )
@@ -422,31 +445,48 @@ class BatchQueryEngine:
                 snapshot,
                 gamma=self.gamma,
                 optimize_search_order=self.algorithm.endswith("+"),
+                kernel=plan.kernel,
             ).iter_run(queries, workload=plan.workload, clusters=plan.clusters)
         if self.algorithm in ("basic", "basic+"):
             return BasicEnum(
-                snapshot, optimize_search_order=self.algorithm.endswith("+")
+                snapshot,
+                optimize_search_order=self.algorithm.endswith("+"),
+                kernel=plan.kernel,
             ).iter_run(queries, workload=plan.workload)
-        return self._fragment_runner(snapshot)(queries)
+        return self._fragment_runner(snapshot, kernel=plan.kernel)(queries)
 
     def _fragment_runner(
-        self, snapshot: "CSRGraph"
+        self, snapshot: "CSRGraph", kernel: Optional[str] = None
     ) -> Callable[[Sequence[HCSTQuery]], FragmentStream]:
         """The sequential fragment generator of the configured algorithm,
-        bound to one sealed snapshot (live mutations cannot reach it)."""
+        bound to one sealed snapshot (live mutations cannot reach it).
+
+        ``kernel`` is the concrete substrate a plan resolved; the unplanned
+        path resolves the engine's policy cost-blind (``"auto"`` therefore
+        stays pure-Python — byte-identical to the pre-kernel engine)."""
+        if kernel is None:
+            kernel = resolve_kernel(self.kernel)
         if self.algorithm == "pathenum":
-            return lambda queries: iter_pathenum_baseline(snapshot, queries)
+            return lambda queries: iter_pathenum_baseline(
+                snapshot, queries, kernel=kernel
+            )
         if self.algorithm == "basic":
-            return BasicEnum(snapshot, optimize_search_order=False).iter_run
+            return BasicEnum(
+                snapshot, optimize_search_order=False, kernel=kernel
+            ).iter_run
         if self.algorithm == "basic+":
-            return BasicEnum(snapshot, optimize_search_order=True).iter_run
+            return BasicEnum(
+                snapshot, optimize_search_order=True, kernel=kernel
+            ).iter_run
         if self.algorithm == "batch":
             return BatchEnum(
-                snapshot, gamma=self.gamma, optimize_search_order=False
+                snapshot, gamma=self.gamma, optimize_search_order=False,
+                kernel=kernel,
             ).iter_run
         if self.algorithm == "batch+":
             return BatchEnum(
-                snapshot, gamma=self.gamma, optimize_search_order=True
+                snapshot, gamma=self.gamma, optimize_search_order=True,
+                kernel=kernel,
             ).iter_run
         if self.algorithm == "dksp":
             from repro.baselines.dksp import iter_dksp_baseline

@@ -69,9 +69,10 @@ were already flushed have already reached the consumer and are not lost.
 
 from __future__ import annotations
 
+import atexit
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.batch.batch_enum import DEFAULT_MAX_DETECTION_DEPTH, BatchEnum
 from repro.batch.planner import CLUSTERED_ALGORITHMS
@@ -86,11 +87,20 @@ from repro.bfs.distance_index import CSRDistanceIndex, build_index
 from repro.enumeration.paths import Path
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.shm import (
+    SharedCSR,
+    SharedCSRHandle,
+    SharedIndexHandle,
+    SharedIndexPayload,
+    shm_available,
+)
 from repro.obs.feedback import (
     COST_ACTUAL_SECONDS_TOTAL,
     COST_PREDICTED_UNITS_TOTAL,
     SHIP_BYTES_TOTAL,
     SHIP_SECONDS_TOTAL,
+    SHM_BYTES_TOTAL,
+    SHM_SECONDS_TOTAL,
 )
 from repro.obs.metrics import resolve_registry
 from repro.obs.tracing import RemoteSpanRecorder, SpanContext, resolve_tracer
@@ -109,74 +119,126 @@ _WORKER_GRAPH: Optional[CSRGraph] = None
 _WORKER_CONFIG: Optional[dict] = None
 _WORKER_INDEX: Optional[CSRDistanceIndex] = None
 
+#: Seconds this worker spent attaching shared-memory segments during
+#: initialisation; the first task it runs reports (and resets) the value so
+#: the parent can fold it into the shm-transport seconds counter.
+_WORKER_INIT_ATTACH_SECONDS: float = 0.0
+
 #: One-slot cache of the most recent *per-task* shipped index (persistent
 #: pools serve many micro-batches, each with its own index, so the payload
-#: travels with the task instead of the pool initializer): ``(key, index)``.
-_WORKER_TASK_INDEX: Tuple[Optional[object], Optional[CSRDistanceIndex]] = (
+#: travels with the task instead of the pool initializer):
+#: ``(key, index, shm_attachment)``.  The attachment slot keeps the shared
+#: mapping alive exactly as long as its index is cached.
+_WORKER_TASK_INDEX: Tuple[Optional[object], Optional[CSRDistanceIndex], object] = (
+    None,
     None,
     None,
 )
 
+#: What an index payload looks like on the wire: the raw ``to_bytes`` blob
+#: (pickle transport) or the address of a shared-memory segment holding it.
+IndexPayload = Union[bytes, SharedIndexHandle, None]
+
+
+def _init_worker(graph: Union[CSRGraph, SharedCSRHandle], config: dict) -> None:
+    """Pool initializer: stash the sealed graph snapshot, config and
+    (optionally) the parent's shipped distance index per process.
+
+    ``graph`` is either the pickled snapshot itself or — under the
+    zero-copy transport — a :class:`SharedCSRHandle` that is attached here
+    (the mapping is closed via ``atexit`` when the worker retires).  The
+    index payload likewise arrives as bytes or a shared-memory handle and
+    is materialised exactly once per worker — every cluster/slice task the
+    worker subsequently runs reads the same flat arrays instead of
+    re-running multi-source BFS.
+    """
+    global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_INDEX
+    global _WORKER_INIT_ATTACH_SECONDS
+    attach_seconds = 0.0
+    if isinstance(graph, SharedCSRHandle):
+        start = time.perf_counter()
+        attached = graph.attach()
+        attach_seconds += time.perf_counter() - start
+        atexit.register(attached.close)
+        graph = attached
+    _WORKER_GRAPH = graph
+    _WORKER_CONFIG = config
+    payload = config.get("index_payload")
+    if isinstance(payload, SharedIndexHandle):
+        start = time.perf_counter()
+        blob = payload.attach()
+        _WORKER_INDEX = CSRDistanceIndex.from_bytes(blob.view, copy=False)
+        attach_seconds += time.perf_counter() - start
+        atexit.register(blob.close)
+    elif payload:
+        _WORKER_INDEX = CSRDistanceIndex.from_bytes(payload)
+    else:
+        _WORKER_INDEX = None
+    _WORKER_INIT_ATTACH_SECONDS = attach_seconds
+
+
+def _consume_init_attach_seconds() -> float:
+    """Report the worker's init-time shm attach seconds exactly once."""
+    global _WORKER_INIT_ATTACH_SECONDS
+    seconds = _WORKER_INIT_ATTACH_SECONDS
+    _WORKER_INIT_ATTACH_SECONDS = 0.0
+    return seconds
+
 #: A result fragment sent back by a worker: paths keyed by original batch
 #: position, the shard's sharing stats, its stage-time totals, and a
 #: telemetry meta dict — ``{"spans": [...], "index_source":
-#: "initializer"|"cache-hit"|"deserialized"|"rebuilt"|"none",
-#: "deserialize_seconds": float}``.  The spans are worker-side records
+#: "initializer"|"cache-hit"|"deserialized"|"shm-attached"|"rebuilt"|"none",
+#: "deserialize_seconds": float, "init_attach_seconds": float}``.
+#: The spans are worker-side records
 #: parented to the submitting batch's span context; the parent re-homes
 #: them via ``Tracer.adopt`` on merge.
 Fragment = Tuple[Dict[int, list], SharingStats, Dict[str, float], dict]
 
 
-def _init_worker(graph: CSRGraph, config: dict) -> None:
-    """Pool initializer: stash the sealed graph snapshot, config and
-    (optionally) the parent's shipped distance index per process.
-
-    The index travels as the compact ``to_bytes`` payload and is
-    deserialized exactly once per worker — every cluster/slice task the
-    worker subsequently runs reads the same flat arrays instead of
-    re-running multi-source BFS.
-    """
-    global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_INDEX
-    _WORKER_GRAPH = graph
-    _WORKER_CONFIG = config
-    index_bytes = config.get("index_bytes")
-    _WORKER_INDEX = (
-        CSRDistanceIndex.from_bytes(index_bytes) if index_bytes else None
-    )
-
-
 def _resolve_task_index(
-    index_key: Optional[object], index_bytes: Optional[bytes]
+    index_key: Optional[object], index_payload: IndexPayload
 ) -> Tuple[Optional[CSRDistanceIndex], str, float]:
     """The index a task should read: the initializer-shipped one (one-shot
-    pools) or the task-shipped payload (persistent pools), deserialized once
+    pools) or the task-shipped payload (persistent pools), materialised once
     per worker per micro-batch — shards of the same batch share
     ``index_key`` so later shards hit the one-slot cache.
 
     Returns ``(index, source, deserialize_seconds)`` where ``source`` is
     how the index was obtained (``"initializer"``, ``"cache-hit"``,
-    ``"deserialized"``, or ``"none"`` when the worker must rebuild) — the
-    submit side turns this into the deserialize-cache hit/miss counters.
+    ``"deserialized"``, ``"shm-attached"``, or ``"none"`` when the worker
+    must rebuild) — the submit side turns this into the deserialize-cache
+    hit/miss counters and the :class:`WorkerPool` stats.  Evicting a cached
+    shm-backed index closes its mapping once the new slot is installed.
     """
     global _WORKER_TASK_INDEX
-    if index_bytes is None:
+    if index_payload is None:
         if _WORKER_INDEX is None:
             return None, "none", 0.0
         return _WORKER_INDEX, "initializer", 0.0
-    cached_key, cached_index = _WORKER_TASK_INDEX
+    cached_key, cached_index, cached_attachment = _WORKER_TASK_INDEX
     if cached_key == index_key and cached_index is not None:
         return cached_index, "cache-hit", 0.0
     start = time.perf_counter()
-    cached_index = CSRDistanceIndex.from_bytes(index_bytes)
-    _WORKER_TASK_INDEX = (index_key, cached_index)
-    return cached_index, "deserialized", time.perf_counter() - start
+    if isinstance(index_payload, SharedIndexHandle):
+        attachment = index_payload.attach()
+        index = CSRDistanceIndex.from_bytes(attachment.view, copy=False)
+        source = "shm-attached"
+    else:
+        attachment = None
+        index = CSRDistanceIndex.from_bytes(index_payload)
+        source = "deserialized"
+    _WORKER_TASK_INDEX = (index_key, index, attachment)
+    if cached_attachment is not None:
+        cached_attachment.close()
+    return index, source, time.perf_counter() - start
 
 
 def _run_cluster_task(
     queries_by_position: Dict[int, HCSTQuery],
     index_key: Optional[object] = None,
-    index_bytes: Optional[bytes] = None,
+    index_payload: IndexPayload = None,
     span_context: Optional[SpanContext] = None,
+    kernel: str = "python",
 ) -> Fragment:
     """Process one cluster inside a worker (``batch``/``batch+``)."""
     graph, config = _WORKER_GRAPH, _WORKER_CONFIG
@@ -186,10 +248,11 @@ def _run_cluster_task(
         gamma=config["gamma"],
         optimize_search_order=config["optimize_search_order"],
         max_detection_depth=config["max_detection_depth"],
+        kernel=kernel,
     )
     stage_timer = StageTimer()
     index, index_source, deserialize_seconds = _resolve_task_index(
-        index_key, index_bytes
+        index_key, index_payload
     )
     if index is None:
         # Rebuild plan: shard-local BFS over this cluster's endpoints.
@@ -219,6 +282,7 @@ def _run_cluster_task(
         "spans": spans.records,
         "index_source": index_source,
         "deserialize_seconds": deserialize_seconds,
+        "init_attach_seconds": _consume_init_attach_seconds(),
     }
     return scratch.paths_by_position, sharing, stage_timer.totals, meta
 
@@ -227,8 +291,9 @@ def _run_slice_task(
     positions: Sequence[int],
     queries: Sequence[HCSTQuery],
     index_key: Optional[object] = None,
-    index_bytes: Optional[bytes] = None,
+    index_payload: IndexPayload = None,
     span_context: Optional[SpanContext] = None,
+    kernel: str = "python",
 ) -> Fragment:
     """Process one contiguous query slice inside a worker (per-query
     algorithms: the sequential runner is reused verbatim)."""
@@ -239,7 +304,7 @@ def _run_slice_task(
     assert graph is not None and config is not None, "worker not initialised"
     algorithm = config["algorithm"]
     index, index_source, deserialize_seconds = _resolve_task_index(
-        index_key, index_bytes
+        index_key, index_payload
     )
     spans = RemoteSpanRecorder(span_context)
     with spans.span(
@@ -251,13 +316,19 @@ def _run_slice_task(
             # global index (a covering superset of the slice's own — prunes
             # identically) instead of re-running BFS for the slice.
             enumerator = BasicEnum(
-                graph, optimize_search_order=algorithm.endswith("+")
+                graph,
+                optimize_search_order=algorithm.endswith("+"),
+                kernel=kernel,
             )
             workload = QueryWorkload(graph, list(queries), index=index)
             sub_result = drain(enumerator.iter_run(queries, workload=workload))
         else:
             engine = BatchQueryEngine(
-                graph, algorithm=algorithm, gamma=config["gamma"], num_workers=1
+                graph,
+                algorithm=algorithm,
+                gamma=config["gamma"],
+                num_workers=1,
+                kernel=kernel,
             )
             sub_result = engine.run(queries)
     paths_by_position = {
@@ -268,6 +339,7 @@ def _run_slice_task(
         "spans": spans.records,
         "index_source": index_source,
         "deserialize_seconds": deserialize_seconds,
+        "init_attach_seconds": _consume_init_attach_seconds(),
     }
     return (
         paths_by_position,
@@ -308,6 +380,7 @@ class WorkerPool:
         max_workers: int,
         max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
         snapshot: Optional[CSRGraph] = None,
+        use_shm="auto",
         metrics=None,
     ) -> None:
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
@@ -320,40 +393,114 @@ class WorkerPool:
         self.max_workers = max_workers
         self.max_detection_depth = max_detection_depth
         #: The sealed snapshot the workers were initialised with.  Workers
-        #: hold their own pickled copy, so an in-place mutation of ``graph``
-        #: does NOT reach them — executors refuse a pool whose snapshot
-        #: version differs from the plan's (see :func:`stream_parallel`),
-        #: and the ingestion service recycles the pool on version drift.
+        #: hold their own copy (pickled, or a read-only shared mapping of
+        #: the same flat arrays), so an in-place mutation of ``graph`` does
+        #: NOT reach them — executors refuse a pool whose snapshot version
+        #: differs from the plan's (see :func:`stream_parallel`), and the
+        #: ingestion service recycles the pool on version drift.
         self.snapshot = snapshot if snapshot is not None else graph.csr_snapshot()
         self.graph_version = self.snapshot.version
+        self.uses_shm = (
+            shm_available() if use_shm == "auto" else bool(use_shm) and shm_available()
+        )
+        #: (SharedCSR, owned) — the zero-copy graph export the initializer
+        #: handle points at.  When the snapshot store sealed this exact CSR
+        #: the export is refcounted there (``owned=False``, released in
+        #: :meth:`shutdown`); otherwise the pool creates and unlinks its
+        #: own segment.
+        self._shared_graph: Optional[SharedCSR] = None
+        self._owns_shared_graph = False
+        init_graph: Union[CSRGraph, SharedCSRHandle] = self.snapshot
+        if self.uses_shm:
+            start = time.perf_counter()
+            store = getattr(graph, "snapshots", None)
+            shared = (
+                store.export_shm(self.snapshot) if store is not None else None
+            )
+            if shared is None:
+                shared = SharedCSR.create(self.snapshot)
+                self._owns_shared_graph = True
+            self._shared_graph = shared
+            init_graph = shared.handle
+            registry.counter(SHM_BYTES_TOTAL).inc(shared.nbytes)
+            registry.counter(SHM_SECONDS_TOTAL).inc(
+                time.perf_counter() - start
+            )
         config = {
             "algorithm": algorithm,
             "gamma": gamma,
             "optimize_search_order": algorithm.endswith("+"),
             "max_detection_depth": max_detection_depth,
-            "index_bytes": None,
+            "index_payload": None,
         }
         self._executor = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(self.snapshot, config),
+            initargs=(init_graph, config),
         )
         self._batch_counter = 0
         self._closed = False
+        self._index_sources = {
+            "cache-hit": 0,
+            "deserialized": 0,
+            "shm-attached": 0,
+        }
 
     def next_batch_key(self) -> int:
         """A fresh key identifying one micro-batch's shipped index."""
         self._batch_counter += 1
         return self._batch_counter
 
+    def _note_index_source(self, source: Optional[str]) -> None:
+        """Fold one task's index-source outcome into :meth:`stats`."""
+        if source in self._index_sources:
+            self._index_sources[source] += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Observable pool counters, including the deserialize-cache ratio.
+
+        ``deserialize_cache_hits`` / ``deserialize_cache_misses`` count the
+        worker-side one-slot index cache (a miss is a ``deserialized`` or
+        ``shm-attached`` materialisation); ``hit_ratio`` is hits over all
+        cache lookups, ``None`` before the first shipped-index task.  An
+        alternating-batch dispatch pattern across a >1-worker pool shows up
+        here as a collapsed hit ratio — the regression the accounting was
+        added to expose.
+        """
+        hits = self._index_sources["cache-hit"]
+        misses = (
+            self._index_sources["deserialized"]
+            + self._index_sources["shm-attached"]
+        )
+        lookups = hits + misses
+        return {
+            "batches": self._batch_counter,
+            "deserialize_cache_hits": hits,
+            "deserialize_cache_misses": misses,
+            "shm_attaches": self._index_sources["shm-attached"],
+            "hit_ratio": (hits / lookups) if lookups else None,
+            "uses_shm": self.uses_shm,
+        }
+
     def submit(self, fn, *args):
         require(not self._closed, "WorkerPool is shut down", RuntimeError)
         return self._executor.submit(fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Join the worker processes (idempotent)."""
+        """Join the worker processes and retire the shared-memory graph
+        segment (idempotent)."""
+        if self._closed:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            return
         self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=True)
+        shared, owned = self._shared_graph, self._owns_shared_graph
+        self._shared_graph = None
+        if shared is not None:
+            if owned:
+                shared.unlink()
+            else:
+                self.graph.snapshots.release_shm(self.graph_version)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -404,6 +551,7 @@ def stream_parallel(
     max_detection_depth: Optional[int] = DEFAULT_MAX_DETECTION_DEPTH,
     plan: "ExecutionPlan | None" = None,
     pool: Optional[WorkerPool] = None,
+    use_shm="auto",
     metrics=None,
     tracer=None,
 ) -> FragmentStream:
@@ -492,30 +640,67 @@ def stream_parallel(
     m_shard_seconds = registry.histogram("repro_shard_seconds")
     m_ship_bytes = registry.counter(SHIP_BYTES_TOTAL)
     m_ship_seconds = registry.counter(SHIP_SECONDS_TOTAL)
+    m_shm_bytes = registry.counter(SHM_BYTES_TOTAL)
+    m_shm_seconds = registry.counter(SHM_SECONDS_TOTAL)
     m_cache_hits = registry.counter("repro_executor_deserialize_cache_hits_total")
     m_cache_misses = registry.counter(
         "repro_executor_deserialize_cache_misses_total"
     )
 
+    use_shm = (
+        shm_available() if use_shm == "auto" else bool(use_shm) and shm_available()
+    )
     shipped_bytes = plan.index_bytes if plan.ship_index else None
+    # Index transport: under the planner's "shm" decision the blob is copied
+    # into one shared segment here and workers receive only its handle; the
+    # segment is unlinked in the finally block below once every shard has
+    # landed (mapped workers keep reading safely regardless).
+    shm_index: Optional[SharedIndexPayload] = None
+    index_payload: IndexPayload = shipped_bytes
+    if (
+        shipped_bytes is not None
+        and plan.index_transport == "shm"
+        and use_shm
+    ):
+        shm_start = time.perf_counter()
+        shm_index = SharedIndexPayload.create(shipped_bytes)
+        m_shm_seconds.inc(time.perf_counter() - shm_start)
+        m_shm_bytes.inc(len(shipped_bytes))
+        index_payload = shm_index.handle
     # The worker-side span context: ``None`` (no tracing) costs nothing in
     # the payload and workers skip recording entirely.
     span_context = span_tracer.current_context()
+    shm_graph: Optional[SharedCSR] = None
+    owns_shm_graph = False
+    shm_graph_version: Optional[int] = None
     if pool is None:
         config = {
             "algorithm": algorithm,
             "gamma": gamma,
             "optimize_search_order": algorithm.endswith("+"),
             "max_detection_depth": max_detection_depth,
-            "index_bytes": shipped_bytes,
+            "index_payload": index_payload,
         }
         snapshot = (
             plan.snapshot if plan.snapshot is not None else graph.csr_snapshot()
         )
+        init_graph: "CSRGraph | SharedCSRHandle" = snapshot
+        if use_shm:
+            shm_start = time.perf_counter()
+            store = getattr(graph, "snapshots", None)
+            shm_graph = store.export_shm(snapshot) if store is not None else None
+            if shm_graph is None:
+                shm_graph = SharedCSR.create(snapshot)
+                owns_shm_graph = True
+            else:
+                shm_graph_version = snapshot.version
+            init_graph = shm_graph.handle
+            m_shm_seconds.inc(time.perf_counter() - shm_start)
+            m_shm_bytes.inc(shm_graph.nbytes)
         executor = ProcessPoolExecutor(
             max_workers=plan.num_workers,
             initializer=_init_worker,
-            initargs=(snapshot, config),
+            initargs=(init_graph, config),
         )
         extra_args: Tuple = (None, None, span_context)
     else:
@@ -524,8 +709,8 @@ def stream_parallel(
         # under a shared batch key.
         executor = pool
         extra_args = (
-            (pool.next_batch_key(), shipped_bytes)
-            if shipped_bytes
+            (pool.next_batch_key(), index_payload)
+            if index_payload
             else (None, None)
         ) + (span_context,)
     with stage_timer.stage("Enumeration"):
@@ -542,7 +727,7 @@ def stream_parallel(
             ):
                 for task, shard in zip(tasks, plan.shards):
                     future = executor.submit(
-                        worker_fn, *make_args(task), *extra_args
+                        worker_fn, *make_args(task), *extra_args, shard.kernel
                     )
                     futures.append(future)
                     shard_by_future[future] = shard
@@ -580,6 +765,12 @@ def stream_parallel(
                     m_ship_seconds.inc(meta.get("deserialize_seconds", 0.0))
                     if shipped_bytes is not None:
                         m_ship_bytes.inc(len(shipped_bytes))
+                elif index_source == "shm-attached":
+                    m_cache_misses.inc()
+                    m_shm_seconds.inc(meta.get("deserialize_seconds", 0.0))
+                m_shm_seconds.inc(meta.get("init_attach_seconds", 0.0))
+                if pool is not None:
+                    pool._note_index_source(index_source)
                 span_tracer.adopt(meta.get("spans") or ())
                 yield {
                     position: result.paths_by_position[position]
@@ -591,11 +782,21 @@ def stream_parallel(
                 # not started; running shards finish or fail on their own,
                 # and the wait guarantees no orphaned worker processes.
                 executor.shutdown(wait=True, cancel_futures=True)
+                if shm_graph is not None:
+                    if owns_shm_graph:
+                        shm_graph.unlink()
+                    else:
+                        graph.snapshots.release_shm(shm_graph_version)
             else:
                 # Only this batch's unstarted shards are cancelled; the pool
                 # stays open for the next micro-batch.
                 for future in futures:
                     future.cancel()
+            if shm_index is not None:
+                # The batch's shard tasks have all landed (or been
+                # cancelled); retiring the name now keeps /dev/shm clean
+                # while any still-running stragglers read their mapping.
+                shm_index.unlink()
 
     if algorithm not in CLUSTERED_ALGORITHMS:
         # Per-query algorithms report one "cluster" per query, like their

@@ -39,9 +39,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.batch.clustering import cluster_queries
 from repro.bfs.distance_index import CSRDistanceIndex
 from repro.bfs.single_source import bfs_distances
+from repro.enumeration.kernels import resolve_kernel, validate_kernel
 from repro.enumeration.search_order import estimate_side_cost
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.shm import shm_available
 from repro.graph.snapshots import PinnedSnapshot
 from repro.obs.feedback import (
     INDEX_BUILD_ENTRIES_TOTAL,
@@ -66,6 +68,11 @@ CLUSTERED_ALGORITHMS = ("batch", "batch+")
 #: Algorithms that read the shared multi-source BFS index and can therefore
 #: receive a shipped parent-built index instead of rebuilding one.
 INDEXED_ALGORITHMS = ("basic", "basic+", "batch", "batch+")
+
+#: Algorithms whose hot loop has a vectorized twin in
+#: :mod:`repro.enumeration.kernels`; the adapted baselines (dksp/onepass)
+#: keep their own search structure and always run the Python substrate.
+KERNELIZED_ALGORITHMS = ("pathenum", "basic", "basic+", "batch", "batch+")
 
 #: Relative cost multipliers for the per-query algorithms, applied on top of
 #: the per-query structural estimate.  They only influence the worker-count
@@ -155,6 +162,14 @@ class CostModel:
     seconds_per_shipped_byte:
         Per-byte cost of serializing + piping + deserializing the
         array-backed index into a worker.
+    seconds_per_shm_byte:
+        Per-byte cost of the shared-memory index transport (parent copies
+        the payload into a segment once; workers map it) — orders of
+        magnitude below the pickle rate, which is the whole point.
+    shm_segment_overhead_seconds:
+        Fixed cost of creating + unlinking one shared-memory segment
+        (``shm_open``/``mmap``/``unlink`` syscalls), charged per batch.
+        Keeps tiny payloads on the pickle path where they are cheaper.
     seconds_per_delta_edge:
         Per (changed edge × index row) cost of incremental
         :meth:`~repro.bfs.distance_index.CSRDistanceIndex.apply_delta`
@@ -173,6 +188,8 @@ class CostModel:
     seconds_per_cost_unit: float = 5e-6
     seconds_per_index_entry: float = 4e-7
     seconds_per_shipped_byte: float = 2e-9
+    seconds_per_shm_byte: float = 5e-11
+    shm_segment_overhead_seconds: float = 3e-4
     seconds_per_delta_edge: float = 2e-5
     parallel_benefit_margin: float = 0.75
 
@@ -295,6 +312,10 @@ class ShardPlan:
     kind: str  # "cluster" | "slice"
     positions: List[int]
     estimated_cost: float  # enumeration cost units
+    #: Concrete enumeration kernel the executor runs this shard on
+    #: ("python" | "numpy"); resolved per shard so ``auto`` can route only
+    #: the heavy shards to the vectorized substrate.
+    kernel: str = "python"
 
     def __post_init__(self) -> None:
         require(self.kind in ("cluster", "slice"), f"unknown shard kind {self.kind!r}")
@@ -331,6 +352,14 @@ class ExecutionPlan:
     #: endpoints, same version), or ``"delta"``-repaired from the cached
     #: one via ``CSRDistanceIndex.apply_delta`` (ship-delta).
     index_strategy: str = "built"
+    #: How the shipped index payload travels to workers: ``"pickle"``
+    #: (inside the task/initializer payload), ``"shm"`` (posted once into a
+    #: shared-memory segment that workers map read-only), or ``"none"``
+    #: when nothing ships (sequential, rebuild-per-worker, unindexed).
+    index_transport: str = "none"
+    #: Enumeration kernel for the plan as a whole (what the sequential
+    #: fallback runs); per-shard choices live on :attr:`ShardPlan.kernel`.
+    kernel: str = "python"
     #: The sealed CSR snapshot every execution artefact was derived from.
     snapshot: Optional[CSRGraph] = field(default=None, repr=False)
     workload: Optional[QueryWorkload] = field(default=None, repr=False)
@@ -360,7 +389,8 @@ class ExecutionPlan:
             f"({', '.join(sorted({s.kind for s in self.shards})) or 'none'})",
             f"  index:        "
             + (
-                f"ship {self.index_payload_bytes} bytes to pool initializer"
+                f"ship {self.index_payload_bytes} bytes via "
+                f"{self.index_transport}"
                 if self.ship_index
                 else (
                     "shared in-process (sequential)"
@@ -369,6 +399,7 @@ class ExecutionPlan:
                 )
             )
             + f" [{self.index_strategy}]",
+            f"  kernel:       {self.kernel}",
             f"  est seq:      {self.estimated_sequential_seconds:.4f}s",
             f"  est parallel: {self.estimated_parallel_seconds:.4f}s "
             f"(spawn {self.estimated_spawn_seconds:.4f}s)",
@@ -452,6 +483,18 @@ class QueryPlanner:
         Upper bound for ``num_workers="auto"`` (defaults to
         ``os.cpu_count()``); explicit integer worker requests are honoured
         beyond it.
+    kernel:
+        Enumeration substrate policy: ``"auto"`` (default) routes shards
+        whose estimated cost clears
+        :data:`~repro.enumeration.kernels.AUTO_MIN_COST_UNITS` to the
+        vectorized numpy kernel when numpy is importable, ``"python"``
+        pins the pure-Python loops, ``"numpy"`` forces vectorized
+        (raising at construction when numpy is absent).
+    use_shm:
+        Shared-memory index transport policy: ``"auto"`` (default) enables
+        it when :func:`~repro.graph.shm.shm_available` says the platform
+        supports POSIX shared memory; ``False`` pins the pickle transport.
+        Passing ``True`` on an unsupported platform degrades to pickle.
     metrics / tracer:
         Telemetry sinks (see :mod:`repro.obs`); default to the no-op
         singletons.  With a live registry every ``plan()`` records the
@@ -466,6 +509,8 @@ class QueryPlanner:
         gamma: float = 0.5,
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
+        kernel: str = "auto",
+        use_shm="auto",
         metrics=None,
         tracer=None,
     ) -> None:
@@ -473,6 +518,11 @@ class QueryPlanner:
         self.algorithm = algorithm
         self.gamma = gamma
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        validate_kernel(kernel)
+        self.kernel = kernel
+        self.use_shm = (
+            shm_available() if use_shm == "auto" else bool(use_shm) and shm_available()
+        )
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         require(max_workers >= 1, f"max_workers must be >= 1, got {max_workers}")
@@ -613,15 +663,28 @@ class QueryPlanner:
         ]
 
         # Index economics: ship the parent-built flat arrays once per
-        # worker, or let each worker re-run BFS over its shard?
+        # worker (over the cheaper of pickle and shared memory), or let
+        # each worker re-run BFS over its shard?
         index_bytes: Optional[bytes] = None
         payload_size = 0
         ship_seconds = 0.0
         rebuild_seconds = 0.0
         ship_index = False
+        index_transport = "none"
         if index is not None:
             payload_size = index.nbytes
-            ship_seconds = payload_size * model.seconds_per_shipped_byte
+            pickle_seconds = payload_size * model.seconds_per_shipped_byte
+            if self.use_shm:
+                shm_seconds = (
+                    model.shm_segment_overhead_seconds
+                    + payload_size * model.seconds_per_shm_byte
+                )
+            else:
+                shm_seconds = float("inf")
+            if shm_seconds < pickle_seconds:
+                ship_seconds, index_transport = shm_seconds, "shm"
+            else:
+                ship_seconds, index_transport = pickle_seconds, "pickle"
             rebuild_seconds = (
                 index.size_in_entries * model.seconds_per_index_entry
             )
@@ -636,11 +699,26 @@ class QueryPlanner:
             pool_ready=pool_ready,
         )
         shards = self._build_shards(query_costs, clusters, resolved)
-        if ship_index and resolved > 1 and index is not None:
+        ship_index = ship_index and resolved > 1
+        if not ship_index:
+            index_transport = "none"
+        if ship_index and index is not None:
             index_bytes = index.to_bytes()
             payload_size = len(index_bytes)
+            if index_transport == "shm":
+                self._metrics.counter(
+                    PLAN_INDEX_STRATEGY_TOTAL, labels={"strategy": "shm"}
+                ).inc()
 
         total_cost = sum(query_costs)
+        plan_kernel = "python"
+        if self.algorithm in KERNELIZED_ALGORITHMS:
+            plan_kernel = resolve_kernel(self.kernel, total_cost)
+            for shard in shards:
+                shard.kernel = resolve_kernel(self.kernel, shard.estimated_cost)
+                self._metrics.counter(
+                    "repro_plan_kernel_total", labels={"kernel": shard.kernel}
+                ).inc()
         per_worker_index = ship_seconds if ship_index else rebuild_seconds
         return ExecutionPlan(
             algorithm=self.algorithm,
@@ -648,7 +726,7 @@ class QueryPlanner:
             requested_workers=num_workers,
             num_workers=resolved,
             shards=shards,
-            ship_index=ship_index and resolved > 1,
+            ship_index=ship_index,
             index_payload_bytes=payload_size,
             estimated_sequential_seconds=total_cost * model.seconds_per_cost_unit,
             estimated_parallel_seconds=self._parallel_seconds(
@@ -661,6 +739,8 @@ class QueryPlanner:
             estimated_index_rebuild_seconds=rebuild_seconds,
             graph_version=pinned_version,
             index_strategy=index_strategy,
+            index_transport=index_transport,
+            kernel=plan_kernel,
             snapshot=csr,
             workload=workload,
             clusters=clusters,

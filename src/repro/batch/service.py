@@ -294,6 +294,8 @@ class IngestionService:
         policy: Optional[AdmissionPolicy] = None,
         cost_model: Optional[CostModel] = None,
         max_workers: Optional[int] = None,
+        kernel: str = "auto",
+        use_shm="auto",
         start: bool = True,
         metrics=None,
         tracer=None,
@@ -308,6 +310,8 @@ class IngestionService:
             num_workers=num_workers,
             cost_model=cost_model,
             max_workers=max_workers,
+            kernel=kernel,
+            use_shm=use_shm,
             metrics=metrics,
             tracer=tracer,
         )
@@ -319,6 +323,8 @@ class IngestionService:
             gamma=gamma,
             cost_model=cost_model,
             max_workers=max_workers,
+            kernel=kernel,
+            use_shm=use_shm,
             metrics=metrics,
             tracer=tracer,
         )

@@ -64,6 +64,20 @@ _HEADER = struct.Struct("<8sqqqqqq")
 _MAGIC = b"CSRDIDX1"
 
 
+def _reachable_entries(row) -> int:
+    """Number of reachable entries in one dense row.
+
+    ``array.count`` runs at C speed; rows attached zero-copy from a shared
+    memory segment are ``memoryview`` casts, which lack ``count`` and fall
+    back to a generator scan (workers never take this path in the hot loop
+    — they index rows, they don't size them).
+    """
+    try:
+        return len(row) - row.count(UNREACHABLE)
+    except AttributeError:
+        return sum(1 for distance in row if distance != UNREACHABLE)
+
+
 class _DistanceRow(MappingABC):
     """Read-only mapping view over one flat distance row.
 
@@ -121,8 +135,7 @@ class _DistanceRow(MappingABC):
 
     def __len__(self) -> int:
         if self._reachable is None:
-            # array.count runs at C speed — no Python-level row scan.
-            self._reachable = len(self._row) - self._row.count(UNREACHABLE)
+            self._reachable = _reachable_entries(self._row)
         return self._reachable
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -380,8 +393,7 @@ class CSRDistanceIndex:
         total = 0
         for rows in (self._from_rows, self._to_rows):
             for row in rows.values():
-                # array.count runs at C speed — no Python-level row scan.
-                total += len(row) - row.count(UNREACHABLE)
+                total += _reachable_entries(row)
         return total
 
     @property
@@ -426,8 +438,18 @@ class CSRDistanceIndex:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "CSRDistanceIndex":
-        """Reconstruct an index serialized by :meth:`to_bytes`."""
+    def from_bytes(cls, blob, copy: bool = True) -> "CSRDistanceIndex":
+        """Reconstruct an index serialized by :meth:`to_bytes`.
+
+        ``blob`` may be ``bytes`` or any buffer (e.g. a ``memoryview`` over
+        a shared-memory segment).  With ``copy=False`` the distance rows
+        become zero-copy ``memoryview`` casts straight into ``blob`` — the
+        read path (``dense_from``/``dense_to``/``dist_*`` and the dict
+        views) is identical, but the rows are only valid while the backing
+        buffer stays mapped, and such an index must not be delta-repaired
+        (``apply_delta`` would write through to the shared pages).  Workers
+        attaching a batch-shipped index use this to skip the per-row copy.
+        """
         magic, itemsize, num_vertices, max_hops, n_from, n_to, _ = (
             _HEADER.unpack_from(blob, 0)
         )
@@ -448,10 +470,19 @@ class CSRDistanceIndex:
             cursor += nbytes
             return out
 
+        def read_row(count: int):
+            if copy:
+                return read_array(count)
+            nonlocal cursor
+            nbytes = count * itemsize
+            row = view[cursor:cursor + nbytes].cast(TYPECODE)
+            cursor += nbytes
+            return row
+
         from_ids = list(read_array(n_from))
         to_ids = list(read_array(n_to))
-        from_rows = {endpoint: read_array(num_vertices) for endpoint in from_ids}
-        to_rows = {endpoint: read_array(num_vertices) for endpoint in to_ids}
+        from_rows = {endpoint: read_row(num_vertices) for endpoint in from_ids}
+        to_rows = {endpoint: read_row(num_vertices) for endpoint in to_ids}
         return cls(num_vertices, max_hops, from_rows, to_rows)
 
     def __repr__(self) -> str:

@@ -29,6 +29,7 @@ from repro.bfs.distance_index import (
     densify_distances,
 )
 from repro.enumeration.join import PathJoinPolicy, join_path_sets
+from repro.enumeration.kernels import resolve_kernel, search_paths
 from repro.enumeration.paths import Path
 from repro.enumeration.search_order import choose_budget_split
 from repro.graph.digraph import DiGraph
@@ -50,6 +51,13 @@ class PathEnum:
     optimize_search_order:
         Enable the "+" search-order optimisation (adaptive forward/backward
         budget split).
+    kernel:
+        ``"python"`` (default) runs the explicit-stack loop; ``"numpy"``
+        runs the byte-identical vectorized frontier expansion of
+        :mod:`repro.enumeration.kernels` (raises here when numpy is
+        absent).  ``"auto"`` resolves to ``"python"`` at this level — the
+        cost-aware auto selection lives in the query planner, which
+        constructs enumerators with the concrete kernel it picked.
     """
 
     def __init__(
@@ -57,10 +65,12 @@ class PathEnum:
         graph: DiGraph,
         index: Optional[DistanceIndex] = None,
         optimize_search_order: bool = False,
+        kernel: str = "python",
     ) -> None:
         self.graph = graph
         self.index = index
         self.optimize_search_order = optimize_search_order
+        self.kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -138,7 +148,6 @@ class PathEnum:
         representations share this loop.
         """
         k = query.k
-        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
         if forward:
             start, other_end = query.s, query.t
         else:
@@ -150,6 +159,13 @@ class PathEnum:
                 index.to_target[query.t] if forward else index.from_source[query.s],
                 self.graph.num_vertices,
             )
+
+        if self.kernel == "numpy":
+            offsets, targets = self.graph.csr_snapshot().flat(forward)
+            return search_paths(
+                offsets, targets, row, start, other_end, k, budget, forward
+            )
+        adjacency = self.graph.csr_snapshot().adjacency_lists(forward)
 
         collected: List[Path] = []
         if forward and start == other_end:  # guarded by HCSTQuery, defensive

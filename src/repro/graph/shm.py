@@ -1,0 +1,347 @@
+"""Zero-copy shared-memory transport for CSR snapshots and index payloads.
+
+The parallel executor used to *pickle* the sealed :class:`CSRGraph` into
+every worker (pool initializer) and the serialized
+:class:`~repro.bfs.distance_index.CSRDistanceIndex` into every batch's task
+payload.  This module moves both into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) so a worker *maps* the bytes the
+parent already laid out instead of copying them through a pipe:
+
+``SharedCSR``
+    Creator-side wrapper packing the four flat CSR arrays (forward/backward
+    offsets + targets) into one segment.  Its picklable :class:`SharedCSRHandle`
+    travels through the pool initializer / task args; ``handle.attach()``
+    reconstructs a read-only :class:`CSRGraph` whose arrays are
+    ``memoryview`` slices of the mapping — zero copies, identical read
+    surface (the enumeration stack only indexes, slices and iterates).
+
+``SharedIndexPayload``
+    Same idea for the per-batch index blob: the parent copies
+    ``index.to_bytes()`` into a segment once; each worker deserializes (or
+    zero-copy views) straight out of the mapping instead of receiving the
+    blob through the task pickle.
+
+Lifecycle discipline (the part that keeps ``/dev/shm`` clean):
+
+* every segment name carries the :data:`SEGMENT_PREFIX` so tests can assert
+  zero leaked ``repro-shm-*`` entries after any pool/service lifecycle;
+* the *creator* owns unlinking — ``WorkerPool.shutdown`` / the
+  ``SnapshotStore`` export refcount / ``stream_parallel``'s finally block
+  call :meth:`unlink` exactly once (idempotent), after which the kernel
+  frees the pages as the last mapping closes;
+* *attachers* (workers) deliberately suppress the
+  ``multiprocessing.resource_tracker`` registration: on Python < 3.13 every
+  attach is (wrongly) registered as an owned resource, so a recycled
+  worker's tracker would otherwise unlink segments the parent and sibling
+  workers still map — and spray "leaked shared_memory" warnings for
+  segments the creator cleans up itself.  The suppression (see
+  :func:`_attach_segment`) is the documented workaround, not an accident;
+  the creator's own registration stays in place as the crash-safety net
+  until ``unlink()`` retires it.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from array import array
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.graph.csr import CSRGraph, TYPECODE
+from repro.utils.validation import require
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Every segment this module creates is named ``repro-shm-<pid>-<token>`` —
+#: recognisable both in ``/dev/shm`` listings and in the hygiene fixtures.
+SEGMENT_PREFIX = "repro-shm"
+
+_ITEMSIZE = array(TYPECODE).itemsize
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None
+
+
+def _new_segment(nbytes: int) -> "_shared_memory.SharedMemory":
+    require(shm_available(), "multiprocessing.shared_memory is not available")
+    while True:
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            return _shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, nbytes)
+            )
+        except FileExistsError:  # pragma: no cover - 8-byte token collision
+            continue
+
+
+def _attach_segment(name: str) -> "_shared_memory.SharedMemory":
+    """Attach to an existing segment *without* adopting its lifetime.
+
+    See the module docstring: the attach-side ``resource_tracker``
+    registration (unconditional before Python 3.13) is suppressed on
+    purpose — under ``spawn`` a recycled worker's own tracker would
+    otherwise unlink segments the creator still serves, and under ``fork``
+    an attach-then-unregister would strip the *creator's* registration
+    from the shared tracker (the tracker then spews a ``KeyError`` when
+    the creator's ``unlink()`` unregisters again).  Skipping registration
+    entirely is the one behaviour that is correct for both start methods;
+    ownership rests solely with the creator.
+    """
+    require(shm_available(), "multiprocessing.shared_memory is not available")
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _register_skipping_shm(resource_name, rtype):
+            if rtype != "shared_memory":
+                original_register(resource_name, rtype)
+
+        resource_tracker.register = _register_skipping_shm
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    except ImportError:  # pragma: no cover - tracker internals shifted
+        return _shared_memory.SharedMemory(name=name)
+
+
+def _release_views(views: List[memoryview]) -> None:
+    for view in views:
+        try:
+            view.release()
+        except Exception:  # pragma: no cover - already released
+            pass
+    views.clear()
+
+
+def _close_segment(segment, views: List[memoryview]) -> None:
+    """Release derived views, then unmap; tolerate straggler exports.
+
+    ``SharedMemory.close`` raises ``BufferError`` while any derived
+    ``memoryview`` is alive; callers drop their references first, but a
+    borrowed row that outlives its index (e.g. mid-crash teardown) must not
+    turn cleanup into a new failure — the mapping then simply lives until
+    process exit, which the kernel handles.
+    """
+    _release_views(views)
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - straggler view holds the buffer
+        pass
+
+
+class SharedCSR:
+    """Creator-side shared-memory export of one sealed :class:`CSRGraph`.
+
+    Layout: the four flat arrays back to back, in :data:`TYPECODE` items —
+    ``fwd_offsets | fwd_targets | bwd_offsets | bwd_targets``.  The handle
+    carries the item counts, so attachment needs no header parsing.
+    """
+
+    def __init__(self, segment, handle: "SharedCSRHandle") -> None:
+        self._segment = segment
+        self._views: List[memoryview] = []
+        self._unlinked = False
+        self.handle = handle
+
+    @classmethod
+    def create(cls, csr: CSRGraph) -> "SharedCSR":
+        arrays = [*csr.flat(forward=True), *csr.flat(forward=False)]
+        counts = tuple(len(a) for a in arrays)
+        segment = _new_segment(sum(counts) * _ITEMSIZE)
+        view = segment.buf[: sum(counts) * _ITEMSIZE].cast(TYPECODE)
+        cursor = 0
+        for source in arrays:
+            view[cursor : cursor + len(source)] = source
+            cursor += len(source)
+        view.release()
+        handle = SharedCSRHandle(
+            name=segment.name,
+            num_vertices=csr.num_vertices,
+            num_edges=csr.num_edges,
+            version=csr.version,
+            itemsize=_ITEMSIZE,
+            counts=counts,
+        )
+        return cls(segment, handle)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.handle.counts) * self.handle.itemsize
+
+    def unlink(self) -> None:
+        """Retire the segment (idempotent): unmap and remove the name.
+
+        Workers that still map it keep reading safely — POSIX keeps the
+        pages until the last mapping closes; the name is gone immediately,
+        which is what the ``/dev/shm`` hygiene fixtures assert on.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        _close_segment(self._segment, self._views)
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedCSR({self.handle.name}, |V|={self.handle.num_vertices}, "
+            f"|E|={self.handle.num_edges}, version={self.handle.version})"
+        )
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable address of a :class:`SharedCSR` segment.
+
+    This tiny frozen dataclass is what actually crosses the process
+    boundary (pool initializer / task args) in place of the pickled graph;
+    RA003 checks it stays module-level and therefore picklable.
+    """
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    version: int
+    itemsize: int
+    counts: Tuple[int, int, int, int]
+
+    def attach(self) -> "AttachedCSR":
+        """Map the segment and wrap it as a read-only :class:`CSRGraph`."""
+        require(
+            self.itemsize == _ITEMSIZE,
+            f"shared CSR itemsize {self.itemsize} does not match "
+            f"this interpreter's array('{TYPECODE}') itemsize {_ITEMSIZE}",
+        )
+        segment = _attach_segment(self.name)
+        total = sum(self.counts)
+        base = segment.buf[: total * self.itemsize].cast(TYPECODE)
+        slices = []
+        cursor = 0
+        for count in self.counts:
+            slices.append(base[cursor : cursor + count])
+            cursor += count
+        return AttachedCSR._from_segment(segment, self, base, slices)
+
+
+class AttachedCSR(CSRGraph):
+    """A :class:`CSRGraph` whose flat arrays live in a shared mapping.
+
+    Behaviour-identical to the pickled snapshot for the whole read surface
+    (``memoryview`` slices support indexing, slicing, ``len`` and
+    iteration), but never re-picklable: processes exchange the
+    :class:`SharedCSRHandle`, not the mapping.
+    """
+
+    __slots__ = ("_segment", "_views", "_closed")
+
+    def __init__(self) -> None:  # pragma: no cover - use the handle
+        raise TypeError("AttachedCSR is built via SharedCSRHandle.attach()")
+
+    @classmethod
+    def _from_segment(cls, segment, handle, base, slices) -> "AttachedCSR":
+        csr = cls.__new__(cls)
+        csr.num_vertices = handle.num_vertices
+        csr.num_edges = handle.num_edges
+        csr.version = handle.version
+        (
+            csr._fwd_offsets,
+            csr._fwd_targets,
+            csr._bwd_offsets,
+            csr._bwd_targets,
+        ) = slices
+        csr._fwd_lists = None
+        csr._bwd_lists = None
+        csr._segment = segment
+        csr._views = [base, *slices]
+        csr._closed = False
+        return csr
+
+    def close(self) -> None:
+        """Unmap (idempotent); registered via ``atexit`` in pool workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fwd_lists = None
+        self._bwd_lists = None
+        views = self._views
+        self._fwd_offsets = self._fwd_targets = None
+        self._bwd_offsets = self._bwd_targets = None
+        _close_segment(self._segment, views)
+
+    def __reduce__(self):
+        raise TypeError(
+            "AttachedCSR maps process-local shared memory and cannot be "
+            "pickled; ship its SharedCSRHandle instead"
+        )
+
+
+class SharedIndexPayload:
+    """Creator-side shared-memory export of one serialized index blob."""
+
+    def __init__(self, segment, handle: "SharedIndexHandle") -> None:
+        self._segment = segment
+        self._views: List[memoryview] = []
+        self._unlinked = False
+        self.handle = handle
+
+    @classmethod
+    def create(cls, blob: bytes) -> "SharedIndexPayload":
+        segment = _new_segment(len(blob))
+        segment.buf[: len(blob)] = blob
+        return cls(segment, SharedIndexHandle(name=segment.name, nbytes=len(blob)))
+
+    def unlink(self) -> None:
+        """Retire the segment (idempotent); see :meth:`SharedCSR.unlink`."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        _close_segment(self._segment, self._views)
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+
+@dataclass(frozen=True)
+class SharedIndexHandle:
+    """Picklable address of a :class:`SharedIndexPayload` segment."""
+
+    name: str
+    nbytes: int
+
+    def attach(self) -> "AttachedBlob":
+        segment = _attach_segment(self.name)
+        return AttachedBlob(segment, self.nbytes)
+
+
+class AttachedBlob:
+    """Worker-side view over a shared index blob."""
+
+    def __init__(self, segment, nbytes: int) -> None:
+        self._segment = segment
+        self._view: Optional[memoryview] = segment.buf[:nbytes]
+
+    @property
+    def view(self) -> memoryview:
+        require(self._view is not None, "shared index blob already closed")
+        return self._view
+
+    def close(self) -> None:
+        """Unmap (idempotent).  Callers drop index references first; a
+        straggler row view keeps the mapping alive until process exit
+        rather than failing the eviction (see :func:`_close_segment`)."""
+        if self._view is None:
+            return
+        views = [self._view]
+        self._view = None
+        _close_segment(self._segment, views)

@@ -41,8 +41,18 @@ INDEX_DELTA_SECONDS_TOTAL = "repro_index_delta_seconds_total"
 SHIP_BYTES_TOTAL = "repro_executor_ship_bytes_total"
 SHIP_SECONDS_TOTAL = "repro_executor_ship_seconds_total"
 
+# Shared-memory index transport: payload bytes placed in the segment and
+# the wall seconds spent on the shm path (parent-side segment create+copy
+# plus worker-side attach) — the near-zero counterpart of the pickle pair
+# above; SHIP_BYTES_TOTAL stays ~0 while batches ship via shm.
+SHM_BYTES_TOTAL = "repro_executor_shm_bytes_total"
+SHM_SECONDS_TOTAL = "repro_executor_shm_seconds_total"
+
 # Which index strategy the planner resolved, labelled
-# {strategy="built"|"cached"|"delta"|"none"}.
+# {strategy="built"|"cached"|"delta"|"none"}.  The additional
+# {strategy="shm"} series marks plans whose index payload travels through
+# a shared-memory segment instead of the task pickle (a transport decision
+# recorded next to, not instead of, the resolution series).
 PLAN_INDEX_STRATEGY_TOTAL = "repro_plan_index_strategy_total"
 
 #: counter-pair -> CostModel field recalibrated as actual / predicted.
@@ -51,6 +61,7 @@ _FEEDBACK_RATES = (
     ("seconds_per_index_entry", INDEX_BUILD_SECONDS_TOTAL, INDEX_BUILD_ENTRIES_TOTAL),
     ("seconds_per_delta_edge", INDEX_DELTA_SECONDS_TOTAL, INDEX_DELTA_EDGE_ROWS_TOTAL),
     ("seconds_per_shipped_byte", SHIP_SECONDS_TOTAL, SHIP_BYTES_TOTAL),
+    ("seconds_per_shm_byte", SHM_SECONDS_TOTAL, SHM_BYTES_TOTAL),
 )
 
 

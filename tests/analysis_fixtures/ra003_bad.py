@@ -18,3 +18,17 @@ def run_inline(pool, items):
 
 def spawn():
     return ProcessPoolExecutor(initializer=lambda: None)  # expect: RA003
+
+
+def init_worker(handle):
+    return handle
+
+
+def spawn_with_local_handle_class():
+    class Handle:  # function-local: pickle cannot resolve it by name
+        pass
+
+    handle = Handle()
+    return ProcessPoolExecutor(
+        initializer=init_worker, initargs=(handle,)  # expect: RA003
+    )

@@ -11,3 +11,15 @@ def run(items):
     with ProcessPoolExecutor(initializer=work) as pool:
         worker = work
         return [pool.submit(worker, item) for item in items]
+
+
+class Exporter:
+    """Module-level handle sources: initargs are data, not callables."""
+
+    def open_pool(self, shared, config):
+        # A handle pulled off an attribute pickles fine — its class is
+        # module-level; RA003 must not confuse data args with callables.
+        init_graph = shared.handle
+        return ProcessPoolExecutor(
+            initializer=work, initargs=(init_graph, config)
+        )

@@ -1,0 +1,235 @@
+"""Differential suite for the vectorized enumeration kernels.
+
+The contract: for every algorithm, every worker count and every graph, the
+``"numpy"`` kernel returns **byte-identical** results to the ``"python"``
+kernel — same paths, same order, per batch position — and both match the
+brute-force ground truth.  The suite also pins the selection policy
+(``"auto"`` stays pure-Python below the cost threshold and on unplanned
+paths) and the no-numpy degradation (``"auto"``/``"python"`` keep working
+with the import blocked; ``"numpy"`` fails eagerly at construction).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.batch.engine import BatchQueryEngine
+from repro.batch.planner import QueryPlanner
+from repro.enumeration import kernels
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.kernels import (
+    AUTO_MIN_COST_UNITS,
+    NUMPY_AVAILABLE,
+    resolve_kernel,
+    validate_kernel,
+)
+from repro.enumeration.path_enum import PathEnum
+from repro.enumeration.paths import sort_paths
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+from repro.queries.query import HCSTQuery
+
+needs_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+
+ALL_ALGORITHMS = ("pathenum", "basic", "basic+", "batch", "batch+", "dksp", "onepass")
+#: Algorithms whose output is the complete HC-s-t path set (comparable to
+#: brute force; dksp/onepass return baseline-specific subsets).
+COMPLETE_ALGORITHMS = ("pathenum", "basic", "basic+", "batch", "batch+")
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _workload(seed, num_vertices=30, num_edges=110, count=8):
+    graph = random_directed_gnm(num_vertices, num_edges, seed=seed)
+    queries = generate_random_queries(graph, count, min_k=2, max_k=4, seed=seed)
+    return graph, queries
+
+
+# --------------------------------------------------------------------- #
+# Selection policy
+# --------------------------------------------------------------------- #
+def test_validate_kernel_rejects_unknown():
+    with pytest.raises(ValueError):
+        validate_kernel("cuda")
+
+
+def test_resolve_kernel_policy():
+    assert resolve_kernel("python") == "python"
+    assert resolve_kernel("python", 1e9) == "python"
+    # Cost-blind "auto" (unplanned paths) always stays pure-Python.
+    assert resolve_kernel("auto") == "python"
+    assert resolve_kernel("auto", None) == "python"
+    # Below the threshold "auto" stays python even with numpy available.
+    assert resolve_kernel("auto", AUTO_MIN_COST_UNITS - 1) == "python"
+    expected = "numpy" if NUMPY_AVAILABLE else "python"
+    assert resolve_kernel("auto", AUTO_MIN_COST_UNITS) == expected
+    assert resolve_kernel("auto", AUTO_MIN_COST_UNITS * 10) == expected
+
+
+@needs_numpy
+def test_planner_resolves_kernel_per_shard():
+    graph, queries = _workload(3, num_vertices=60, num_edges=300, count=10)
+    planner = QueryPlanner(graph, algorithm="batch+", kernel="auto")
+    plan = planner.plan(queries)
+    for shard in plan.shards:
+        expected = "numpy" if shard.estimated_cost >= AUTO_MIN_COST_UNITS else "python"
+        assert shard.kernel == expected
+    assert "kernel:" in plan.describe()
+
+
+def test_planner_kernel_python_pins_all_shards():
+    graph, queries = _workload(3)
+    plan = QueryPlanner(graph, algorithm="batch+", kernel="python").plan(queries)
+    assert all(shard.kernel == "python" for shard in plan.shards)
+    assert plan.kernel == "python"
+
+
+# --------------------------------------------------------------------- #
+# Differential: hypothesis-randomized graphs, sequential
+# --------------------------------------------------------------------- #
+@st.composite
+def graph_and_query(draw):
+    num_vertices = draw(st.integers(min_value=4, max_value=12))
+    possible = [
+        (u, v) for u in range(num_vertices) for v in range(num_vertices) if u != v
+    ]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            min_size=num_vertices,
+            max_size=4 * num_vertices,
+        )
+    )
+    graph = DiGraph.from_edges(set(edges), num_vertices=num_vertices)
+    s = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+    t = draw(
+        st.integers(min_value=0, max_value=num_vertices - 1).filter(lambda v: v != s)
+    )
+    k = draw(st.integers(min_value=1, max_value=5))
+    return graph, HCSTQuery(s=s, t=t, k=k)
+
+
+@needs_numpy
+@SETTINGS
+@given(graph_and_query())
+def test_pathenum_numpy_kernel_byte_identical(data):
+    graph, query = data
+    python_paths = PathEnum(graph, kernel="python").enumerate(query)
+    numpy_paths = PathEnum(graph, kernel="numpy").enumerate(query)
+    assert numpy_paths == python_paths  # identical order, not just set
+    assert sort_paths(python_paths) == sort_paths(
+        enumerate_paths_brute_force(graph, query.s, query.t, query.k)
+    )
+
+
+@needs_numpy
+@SETTINGS
+@given(graph_and_query(), st.sampled_from(["batch+", "batch", "basic+"]))
+def test_engine_numpy_kernel_byte_identical(data, algorithm):
+    graph, query = data
+    queries = [query]
+    python_result = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="python", num_workers=1
+    ).run(queries)
+    numpy_result = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="numpy", num_workers=1
+    ).run(queries)
+    assert numpy_result.paths_by_position == python_result.paths_by_position
+
+
+# --------------------------------------------------------------------- #
+# Differential: all algorithms x worker counts
+# --------------------------------------------------------------------- #
+@needs_numpy
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_all_algorithms_numpy_equals_python_sequential(algorithm):
+    graph, queries = _workload(7)
+    python_result = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="python", num_workers=1
+    ).run(queries)
+    numpy_result = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="numpy", num_workers=1
+    ).run(queries)
+    assert numpy_result.paths_by_position == python_result.paths_by_position
+    if algorithm in COMPLETE_ALGORITHMS:
+        for position, query in enumerate(queries):
+            assert sort_paths(python_result.paths_at(position)) == sort_paths(
+                enumerate_paths_brute_force(graph, query.s, query.t, query.k)
+            )
+
+
+@needs_numpy
+@pytest.mark.parametrize("num_workers", [2, "auto"])
+@pytest.mark.parametrize("algorithm", COMPLETE_ALGORITHMS)
+def test_kernelized_algorithms_across_worker_counts(algorithm, num_workers):
+    graph, queries = _workload(5)
+    reference = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="python", num_workers=1
+    ).run(queries)
+    result = BatchQueryEngine(
+        graph, algorithm=algorithm, kernel="numpy", num_workers=num_workers
+    ).run(queries)
+    assert result.paths_by_position == reference.paths_by_position
+
+
+# --------------------------------------------------------------------- #
+# No-numpy degradation
+# --------------------------------------------------------------------- #
+def test_numpy_kernel_rejected_when_unavailable(monkeypatch):
+    monkeypatch.setattr(kernels, "NUMPY_AVAILABLE", False)
+    with pytest.raises(ValueError):
+        validate_kernel("numpy")
+    assert resolve_kernel("auto", 1e9) == "python"
+
+
+def test_fallback_with_numpy_import_blocked():
+    """End-to-end degradation with the numpy import genuinely blocked.
+
+    A fresh interpreter poisons ``sys.modules["numpy"]`` *before* any
+    repro import, so the kernels module sees a failing import — exactly
+    the situation on a numpy-less deployment.  ``"auto"`` must degrade to
+    pure Python with correct results; ``"numpy"`` must raise eagerly.
+    """
+    code = """
+import sys
+sys.modules["numpy"] = None  # blocks `import numpy` with ImportError
+from repro.batch.engine import BatchQueryEngine
+from repro.enumeration.brute_force import enumerate_paths_brute_force
+from repro.enumeration.kernels import NUMPY_AVAILABLE
+from repro.enumeration.paths import sort_paths
+from repro.graph.generators import random_directed_gnm
+from repro.queries.generation import generate_random_queries
+
+assert not NUMPY_AVAILABLE
+graph = random_directed_gnm(30, 110, seed=7)
+queries = generate_random_queries(graph, 6, min_k=2, max_k=4, seed=7)
+engine = BatchQueryEngine(graph, algorithm="batch+", kernel="auto", num_workers=1)
+result = engine.run(queries)
+for position, query in enumerate(queries):
+    expected = enumerate_paths_brute_force(graph, query.s, query.t, query.k)
+    assert sort_paths(result.paths_at(position)) == sort_paths(expected)
+try:
+    BatchQueryEngine(graph, algorithm="batch+", kernel="numpy")
+except ValueError:
+    print("OK")
+else:
+    raise AssertionError("kernel='numpy' must raise without numpy")
+"""
+    completed = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "OK" in completed.stdout

@@ -1,0 +1,292 @@
+"""Shared-memory transport: correctness, lifecycle and /dev/shm hygiene.
+
+Every test in this module runs under an autouse fixture that snapshots the
+``repro-shm-*`` names visible in ``/dev/shm`` before the test and asserts
+the set is unchanged after it — a leaked segment anywhere in the
+pool/service/store lifecycle (including worker crashes) fails the suite,
+not just the test that happened to look.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.batch.engine import BatchQueryEngine
+from repro.batch.planner import CostModel
+from repro.batch.service import IngestionService
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import random_directed_gnm
+from repro.graph.shm import (
+    SEGMENT_PREFIX,
+    SharedCSR,
+    SharedIndexPayload,
+    shm_available,
+)
+from repro.queries.generation import generate_random_queries
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+_DEV_SHM = "/dev/shm"
+
+
+def _live_segments():
+    """Names of this module's shared-memory segments currently linked."""
+    if not os.path.isdir(_DEV_SHM):  # pragma: no cover - non-Linux fallback
+        return set()
+    return {
+        name
+        for name in os.listdir(_DEV_SHM)
+        if name.lstrip("/").startswith(SEGMENT_PREFIX)
+    }
+
+
+@pytest.fixture(autouse=True)
+def shm_hygiene():
+    """Fail any test that leaves a ``repro-shm-*`` segment behind."""
+    before = _live_segments()
+    yield
+    leaked = _live_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _workload(seed, num_vertices=40, num_edges=160, count=8):
+    graph = random_directed_gnm(num_vertices, num_edges, seed=seed)
+    queries = generate_random_queries(graph, count, min_k=2, max_k=4, seed=seed)
+    return graph, queries
+
+
+#: Economics that force the planner onto the shm index transport: shipping
+#: per pickle-byte is ruinous, rebuilding is worse, shm is nearly free.
+FORCE_SHIP_MODEL = dataclasses.replace(
+    CostModel(),
+    seconds_per_index_entry=1.0,
+    seconds_per_shipped_byte=1e-3,
+    seconds_per_shm_byte=1e-12,
+    shm_segment_overhead_seconds=0.0,
+)
+
+
+# --------------------------------------------------------------------- #
+# SharedCSR primitives
+# --------------------------------------------------------------------- #
+def test_shared_csr_attach_round_trip():
+    graph, _ = _workload(1)
+    snapshot = graph.csr_snapshot()
+    shared = SharedCSR.create(snapshot)
+    attached = shared.handle.attach()
+    try:
+        assert attached.num_vertices == snapshot.num_vertices
+        assert attached.num_edges == snapshot.num_edges
+        assert attached.version == snapshot.version
+        for vertex in range(snapshot.num_vertices):
+            assert list(attached.out_neighbors(vertex)) == list(
+                snapshot.out_neighbors(vertex)
+            )
+            assert list(attached.in_neighbors(vertex)) == list(
+                snapshot.in_neighbors(vertex)
+            )
+    finally:
+        attached.close()
+        attached.close()  # idempotent
+        shared.unlink()
+        shared.unlink()  # idempotent
+
+
+def test_attached_csr_refuses_to_pickle():
+    graph, _ = _workload(2, num_vertices=12, num_edges=30)
+    shared = SharedCSR.create(graph.csr_snapshot())
+    attached = shared.handle.attach()
+    try:
+        with pytest.raises(TypeError):
+            pickle.dumps(attached)
+        # The handle is the picklable currency instead.
+        clone = pickle.loads(pickle.dumps(shared.handle))
+        assert clone == shared.handle
+    finally:
+        attached.close()
+        shared.unlink()
+
+
+def test_shared_index_payload_round_trip():
+    blob = bytes(range(256)) * 11
+    payload = SharedIndexPayload.create(blob)
+    attachment = payload.handle.attach()
+    try:
+        assert payload.handle.nbytes == len(blob)
+        assert bytes(attachment.view) == blob
+    finally:
+        attachment.close()
+        attachment.close()  # idempotent
+        payload.unlink()
+
+
+# --------------------------------------------------------------------- #
+# SnapshotStore refcounted exports
+# --------------------------------------------------------------------- #
+def test_store_export_refcount_shares_one_segment():
+    graph, _ = _workload(3)
+    snapshot = graph.csr_snapshot()
+    store = graph.snapshots
+
+    first = store.export_shm(snapshot)
+    second = store.export_shm(snapshot)
+    assert first is second  # concurrent pools share one export
+    assert store.shm_export_count() == 1
+    assert first.handle.name.lstrip("/") in _live_segments()
+
+    store.release_shm(snapshot.version)
+    assert store.shm_export_count() == 1  # one reference still out
+    store.release_shm(snapshot.version)
+    assert store.shm_export_count() == 0
+    assert first.handle.name.lstrip("/") not in _live_segments()
+
+
+def test_store_export_rejects_foreign_snapshot():
+    graph, _ = _workload(4, num_vertices=12, num_edges=30)
+    foreign = CSRGraph(graph)  # sealed outside the store
+    assert graph.snapshots.export_shm(foreign) is None
+
+
+def test_version_bump_retires_unreferenced_export():
+    graph, _ = _workload(5, num_vertices=12, num_edges=30)
+    store = graph.snapshots
+    with store.pin() as pinned:
+        shared = store.export_shm(pinned.csr)
+        assert shared is not None
+        name = shared.handle.name.lstrip("/")
+        old_version = pinned.csr.version
+        graph.add_edge(0, 11)  # bump: pinned version is no longer head
+        store.release_shm(old_version)
+    # Last pin + last shm reference gone → the export must not outlive the
+    # retired version.
+    assert store.shm_export_count() == 0
+    assert name not in _live_segments()
+
+
+# --------------------------------------------------------------------- #
+# Pool / engine / service lifecycles
+# --------------------------------------------------------------------- #
+def test_pool_lifecycle_cleans_up_and_counts():
+    graph, queries = _workload(6)
+    engine = BatchQueryEngine(
+        graph,
+        algorithm="batch+",
+        num_workers=2,
+        cost_model=FORCE_SHIP_MODEL,
+        use_shm=True,
+    )
+    reference = BatchQueryEngine(graph, algorithm="batch+", num_workers=1).run(
+        queries
+    )
+    pool = engine.create_pool(max_workers=2)
+    try:
+        assert pool.uses_shm
+        assert graph.snapshots.shm_export_count() == 1
+        for _ in range(3):
+            collected = dict(engine.stream(queries, pool=pool))
+            assert collected == reference.paths_by_position
+        stats = pool.stats()
+        assert stats["batches"] == 3
+        assert stats["uses_shm"] is True
+        lookups = (
+            stats["deserialize_cache_hits"] + stats["deserialize_cache_misses"]
+        )
+        # Every shipped-index task is a cache lookup; each batch rotates the
+        # key, so each batch misses at least once per worker that saw it.
+        assert stats["deserialize_cache_misses"] >= 3
+        assert stats["deserialize_cache_misses"] <= 3 * 2  # batches x workers
+        assert lookups >= stats["deserialize_cache_misses"]
+        assert stats["hit_ratio"] == pytest.approx(
+            stats["deserialize_cache_hits"] / lookups
+        )
+    finally:
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+    assert graph.snapshots.shm_export_count() == 0
+
+
+def test_pool_stats_before_first_index_task():
+    graph, _ = _workload(7, num_vertices=12, num_edges=30)
+    engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=2)
+    pool = engine.create_pool(max_workers=2)
+    try:
+        stats = pool.stats()
+        assert stats["batches"] == 0
+        assert stats["hit_ratio"] is None  # no lookups yet: ratio undefined
+    finally:
+        pool.shutdown()
+
+
+def test_one_shot_stream_cleans_up():
+    graph, queries = _workload(8)
+    engine = BatchQueryEngine(
+        graph,
+        algorithm="batch+",
+        num_workers=2,
+        cost_model=FORCE_SHIP_MODEL,
+        use_shm=True,
+    )
+    result = engine.run(queries)
+    reference = BatchQueryEngine(graph, algorithm="batch+", num_workers=1).run(
+        queries
+    )
+    assert result.paths_by_position == reference.paths_by_position
+    assert graph.snapshots.shm_export_count() == 0
+
+
+def test_mid_stream_version_bump_recycles_cleanly():
+    graph, queries = _workload(9)
+    engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=2)
+    old_pool = engine.create_pool(max_workers=2)
+    try:
+        first = dict(engine.stream(queries, pool=old_pool))
+        graph.add_edge(0, graph.num_vertices - 1)
+        new_pool = engine.create_pool(max_workers=2)
+        try:
+            second = dict(engine.stream(queries, pool=new_pool))
+        finally:
+            new_pool.shutdown()
+        assert set(first) == set(second)
+    finally:
+        old_pool.shutdown()
+    assert graph.snapshots.shm_export_count() == 0
+
+
+def test_service_close_drains_and_cleans():
+    graph, queries = _workload(10)
+    reference = BatchQueryEngine(graph, algorithm="batch+", num_workers=1).run(
+        queries
+    )
+    service = IngestionService(graph, algorithm="batch+", num_workers=2)
+    tickets = service.submit_many(queries)
+    service.close(drain=True)
+    for position, ticket in enumerate(tickets):
+        assert ticket.result(timeout=60) == reference.paths_at(position)
+    assert graph.snapshots.shm_export_count() == 0
+
+
+def _crash_worker() -> None:  # pragma: no cover - runs in a worker process
+    os._exit(17)
+
+
+def test_worker_crash_does_not_leak_segments():
+    from concurrent.futures.process import BrokenProcessPool
+
+    graph, _ = _workload(11, num_vertices=12, num_edges=30)
+    engine = BatchQueryEngine(graph, algorithm="batch+", num_workers=2)
+    pool = engine.create_pool(max_workers=2)
+    try:
+        future = pool.submit(_crash_worker)
+        with pytest.raises(BrokenProcessPool):
+            future.result(timeout=60)
+    finally:
+        pool.shutdown()
+    # The creator owns the segment: a dead worker must not have unlinked it,
+    # and shutdown must still retire it exactly once.
+    assert graph.snapshots.shm_export_count() == 0
