@@ -8,6 +8,7 @@ from repro.analysis.core import (
     DEFAULT_EXCLUDED_DIRS,
     PARSE_ERROR_RULE_ID,
     Finding,
+    ProjectRule,
     Rule,
     SourceModule,
     all_rules,
@@ -21,6 +22,7 @@ __all__ = [
     "DEFAULT_EXCLUDED_DIRS",
     "PARSE_ERROR_RULE_ID",
     "Finding",
+    "ProjectRule",
     "Rule",
     "SourceModule",
     "all_rules",

@@ -6,22 +6,81 @@ Exit codes: 0 — no findings; 1 — findings reported; 2 — usage error.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.core import (
     DEFAULT_EXCLUDED_DIRS,
+    Finding,
     all_rules,
     analyze_paths,
 )
+
+
+def _render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(finding.render() for finding in findings)
+
+
+def _render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        [
+            {
+                "file": finding.file,
+                "line": finding.line,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        indent=2,
+    )
+
+
+def _render_github(findings: Sequence[Finding]) -> str:
+    # GitHub workflow commands: annotate the PR diff at file:line.  The
+    # message payload must stay on one line; %0A is the escaped newline.
+    lines = []
+    for finding in findings:
+        message = finding.message.replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::error file={finding.file},line={finding.line},"
+            f"title={finding.rule_id}::{message}"
+        )
+    return "\n".join(lines)
+
+
+FORMATS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
+
+
+def _parse_jobs(value: str) -> int:
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer or 'auto', got {value!r}"
+        )
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Run the repo's AST invariant rules (RA001-RA005) over Python "
-            "sources and report violations as file:line: RA###: message."
+            "Run the repo's AST invariant rules (per-file RA001-RA006 and "
+            "project-wide RA007-RA009) over Python sources and report "
+            "violations as file:line: RA###: message."
         ),
     )
     parser.add_argument(
@@ -45,6 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also scan directories excluded by default "
             f"({', '.join(sorted(DEFAULT_EXCLUDED_DIRS))})"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        type=_parse_jobs,
+        default=1,
+        help=(
+            "scan files across N worker processes ('auto' = cpu count); "
+            "findings are byte-identical to a sequential scan"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help=(
+            "output renderer: 'text' (file:line: RA###: message), 'json' "
+            "(machine-readable array), or 'github' (workflow ::error "
+            "annotations)"
         ),
     )
     return parser
@@ -78,9 +157,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     excluded = frozenset() if args.no_default_excludes else DEFAULT_EXCLUDED_DIRS
-    findings = analyze_paths(args.paths, rules=rules, excluded_dirs=excluded)
-    for finding in findings:
-        print(finding.render())
+    findings = analyze_paths(
+        args.paths, rules=rules, excluded_dirs=excluded, jobs=args.jobs
+    )
+    rendered = FORMATS[args.format](findings)
+    if rendered:
+        print(rendered)
     if findings:
         print(
             f"{len(findings)} finding(s) across "

@@ -9,36 +9,66 @@ on every push by this package instead of being guarded by comments alone.
 
 Architecture
 ------------
-* A :class:`Rule` inspects one parsed module (:class:`SourceModule`) and
-  yields :class:`Finding` objects.  Rules are registered with the
-  :func:`register` decorator and identified by a stable ``RA###`` id.
-* :func:`analyze_source` runs every (selected) rule over one source blob
-  and filters findings through the per-line suppression comments.
-* :func:`analyze_paths` maps that over files/directories; directories are
-  walked recursively with a default exclusion list (``__pycache__``, hidden
-  directories and the intentionally-dirty ``analysis_fixtures`` corpus) so
-  a repo-wide scan stays clean while explicitly named files are always
-  scanned.
+The engine runs two passes:
+
+* **Per-file pass.**  A :class:`Rule` inspects one parsed module
+  (:class:`SourceModule`) and yields :class:`Finding` objects.  Rules are
+  registered with the :func:`register` decorator and identified by a
+  stable ``RA###`` id.
+* **Project pass.**  A :class:`ProjectRule` inspects the whole scanned
+  tree at once through a :class:`~repro.analysis.project.ProjectIndex`
+  (per-module symbol tables, import graph, call graph, per-function
+  lock/resource summaries) and yields findings that may span modules —
+  lock-order cycles, resource acquires whose release lives in another
+  function, unpicklable values flowing into a pool submit.
+
+:func:`analyze_source` runs both passes over one source blob (the project
+pass then sees a single-module index).  :func:`analyze_paths` maps the
+per-file pass over files/directories — optionally across a process pool
+(``jobs``) since files are independent — then builds the
+:class:`ProjectIndex` once in-parent and runs every ``ProjectRule`` over
+it.  Directories are walked recursively with a default exclusion list
+(``__pycache__``, hidden directories and the intentionally-dirty
+``analysis_fixtures`` corpus) so a repo-wide scan stays clean while
+explicitly named files are always scanned.
 
 Suppressions
 ------------
-A finding is silenced by a same-line comment::
+A finding is silenced by a comment on any line of the statement it is
+anchored to::
 
     return self._rows  # repro: ignore[RA004] -- shared read-only hot-path cache
 
 ``# repro: ignore[RA001,RA004]`` silences several rules, a bare
-``# repro: ignore`` silences every rule on that line.  Suppressions should
-carry a justification after the bracket — the scanner does not enforce the
-prose, reviewers do.
+``# repro: ignore`` silences every rule on that line.  Comments are
+extracted with :mod:`tokenize`, so the marker inside a string literal is
+inert; a marker on any line within ``node.lineno..node.end_lineno`` of
+the anchoring statement covers a wrapped call.  Suppressions should
+carry a justification after the bracket — the scanner does not enforce
+the prose, reviewers do.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 #: Rule id reserved for files the engine itself cannot parse.
 PARSE_ERROR_RULE_ID = "RA000"
@@ -52,18 +82,75 @@ _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]*)\])?"
 )
 
+#: ``{line: rule ids}`` suppression table; ``None`` means all rules.
+SuppressionMap = Dict[int, Optional[FrozenSet[str]]]
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation, anchored to a ``file:line``."""
+    """One rule violation, anchored to a ``file:line``.
+
+    ``span`` is the anchoring statement's ``(lineno, end_lineno)`` — it
+    participates in suppression matching (a ``# repro: ignore`` on any
+    line of a wrapped statement covers the finding) but not in equality
+    or ordering, so findings stay comparable across engines that do and
+    do not record spans.
+    """
 
     file: str
     line: int
     rule_id: str
     message: str
+    span: Optional[Tuple[int, int]] = field(default=None, compare=False)
 
     def render(self) -> str:
         return f"{self.file}:{self.line}: {self.rule_id}: {self.message}"
+
+
+def _parse_suppressions(source: str) -> SuppressionMap:
+    """Extract ``# repro: ignore[...]`` markers from *comment tokens*.
+
+    Scanning raw lines would let a string literal containing the marker
+    silence findings on its line; :mod:`tokenize` sees only real
+    comments.  Tokenizer errors are swallowed — the caller has already
+    ``ast.parse``-d the source, so the tokenizer failing here would be a
+    stdlib disagreement we degrade through (no suppressions) rather than
+    crash on.
+    """
+    suppressions: SuppressionMap = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                suppressions[token.start[0]] = None
+            else:
+                suppressions[token.start[0]] = frozenset(
+                    part.strip().upper()
+                    for part in ids.split(",")
+                    if part.strip()
+                )
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return suppressions
+
+
+def suppresses(suppressions: SuppressionMap, finding: Finding) -> bool:
+    """Whether the table silences ``finding`` (span-aware)."""
+    start, end = finding.span or (finding.line, finding.line)
+    if end < start:  # pragma: no cover - malformed span, be permissive
+        start, end = end, start
+    for line in range(start, end + 1):
+        if line not in suppressions:
+            continue
+        ids = suppressions[line]
+        if ids is None or finding.rule_id.upper() in ids:
+            return True
+    return False
 
 
 class SourceModule:
@@ -80,30 +167,15 @@ class SourceModule:
         self.lines: List[str] = source.splitlines()
         self.posix_path = Path(path).as_posix()
         self.tree = ast.parse(source, filename=path)
-        self._suppressions = self._parse_suppressions(self.lines)
+        self._suppressions = _parse_suppressions(source)
 
-    @staticmethod
-    def _parse_suppressions(
-        lines: Sequence[str],
-    ) -> Dict[int, Optional[FrozenSet[str]]]:
-        """``{line: suppressed rule ids}``; ``None`` means all rules."""
-        suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
-        for lineno, line in enumerate(lines, start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match is None:
-                continue
-            ids = match.group("ids")
-            if ids is None:
-                suppressions[lineno] = None
-            else:
-                suppressions[lineno] = frozenset(
-                    part.strip().upper()
-                    for part in ids.split(",")
-                    if part.strip()
-                )
-        return suppressions
+    @property
+    def suppressions(self) -> SuppressionMap:
+        return self._suppressions
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Single-line check (kept for rule unit tests); findings go
+        through :func:`suppresses` which also honours spans."""
         if line not in self._suppressions:
             return False
         ids = self._suppressions[line]
@@ -111,7 +183,7 @@ class SourceModule:
 
 
 class Rule:
-    """Base class for one invariant check.
+    """Base class for one per-file invariant check.
 
     Subclasses set ``rule_id`` (stable ``RA###`` identifier) and ``title``
     (one-line summary shown by ``--list-rules``) and implement
@@ -128,9 +200,51 @@ class Rule:
     def finding(
         self, module: SourceModule, node: Union[ast.AST, int], message: str
     ) -> Finding:
-        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        if isinstance(node, int):
+            line: int = node
+            span: Optional[Tuple[int, int]] = None
+        else:
+            line = getattr(node, "lineno", 1)
+            span = (line, getattr(node, "end_lineno", None) or line)
         return Finding(
-            file=module.path, line=line, rule_id=self.rule_id, message=message
+            file=module.path,
+            line=line,
+            rule_id=self.rule_id,
+            message=message,
+            span=span,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for one project-wide (interprocedural) check.
+
+    Registered exactly like a per-file :class:`Rule`, but the engine
+    calls :meth:`check_project` once per scan with the
+    :class:`~repro.analysis.project.ProjectIndex` built over every
+    successfully parsed module, instead of :meth:`check` per file.
+    Findings must anchor ``file`` to one of the indexed module paths so
+    that file's suppression comments apply.
+    """
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, index) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        span: Optional[Tuple[int, int]] = None,
+    ) -> Finding:
+        return Finding(
+            file=path,
+            line=line,
+            rule_id=self.rule_id,
+            message=message,
+            span=span,
         )
 
 
@@ -170,7 +284,10 @@ def _load_builtin_rules() -> None:
     from repro.analysis import (
         rules_generators,
         rules_internals,
+        rules_lifecycle,
         rules_lock,
+        rules_lockorder,
+        rules_pickle_flow,
         rules_pool,
         rules_snapshot,
         rules_telemetry,
@@ -181,11 +298,50 @@ def _load_builtin_rules() -> None:
     _ = (
         rules_generators,
         rules_internals,
+        rules_lifecycle,
         rules_lock,
+        rules_lockorder,
+        rules_pickle_flow,
         rules_pool,
         rules_snapshot,
         rules_telemetry,
     )
+
+
+def _split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _check_module(module: SourceModule, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not suppresses(module.suppressions, finding):
+                findings.append(finding)
+    return findings
+
+
+def _project_findings(
+    summaries: Sequence[object],
+    project_rules: Sequence["ProjectRule"],
+    suppressions_by_path: Dict[str, SuppressionMap],
+) -> List[Finding]:
+    if not project_rules or not summaries:
+        return []
+    from repro.analysis.project import ProjectIndex
+
+    index = ProjectIndex.build(summaries)
+    findings: List[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(index):
+            table = suppressions_by_path.get(finding.file, {})
+            if not suppresses(table, finding):
+                findings.append(finding)
+    return findings
 
 
 def analyze_source(
@@ -195,14 +351,17 @@ def analyze_source(
 ) -> List[Finding]:
     """Run ``rules`` (default: all registered) over one source blob.
 
-    Findings carrying a same-line ``# repro: ignore[...]`` suppression are
+    Both passes run; the project pass sees a single-module index, so
+    project rules behave exactly as in a full scan restricted to this
+    file.  Findings carrying a ``# repro: ignore[...]`` suppression are
     dropped; the remainder is returned sorted by (file, line, rule).  A
     file that fails to parse yields a single :data:`PARSE_ERROR_RULE_ID`
-    finding instead of raising — a broken file must fail CI, not crash the
-    analyzer.
+    finding instead of raising — a broken file must fail CI, not crash
+    the analyzer.
     """
     if rules is None:
         rules = all_rules()
+    file_rules, project_rules = _split_rules(rules)
     try:
         module = SourceModule(path, source)
     except SyntaxError as error:
@@ -214,11 +373,17 @@ def analyze_source(
                 message=f"could not parse file: {error.msg}",
             )
         ]
-    findings: List[Finding] = []
-    for rule in rules:
-        for finding in rule.check(module):
-            if not module.is_suppressed(finding.line, finding.rule_id):
-                findings.append(finding)
+    findings = _check_module(module, file_rules)
+    if project_rules:
+        from repro.analysis.summaries import summarize_module
+
+        findings.extend(
+            _project_findings(
+                [summarize_module(module)],
+                project_rules,
+                {module.path: module.suppressions},
+            )
+        )
     return sorted(findings)
 
 
@@ -248,21 +413,104 @@ def iter_python_files(
             yield path
 
 
+@dataclass(frozen=True)
+class _FileScan:
+    """One file's per-file pass output (picklable, for ``jobs`` workers)."""
+
+    path: str
+    findings: Tuple[Finding, ...]
+    summary: Optional[object]  # ModuleSummary; None on parse error
+    suppressions: Tuple[Tuple[int, Optional[FrozenSet[str]]], ...]
+
+
+def _scan_one(
+    path: str, file_rules: Sequence[Rule], want_summary: bool = True
+) -> _FileScan:
+    source = Path(path).read_text(encoding="utf-8")
+    try:
+        module = SourceModule(path, source)
+    except SyntaxError as error:
+        finding = Finding(
+            file=path,
+            line=error.lineno or 1,
+            rule_id=PARSE_ERROR_RULE_ID,
+            message=f"could not parse file: {error.msg}",
+        )
+        return _FileScan(path, (finding,), None, ())
+    summary: Optional[object] = None
+    if want_summary:
+        from repro.analysis.summaries import summarize_module
+
+        summary = summarize_module(module)
+    return _FileScan(
+        path,
+        tuple(sorted(_check_module(module, file_rules))),
+        summary,
+        tuple(sorted(module.suppressions.items())),
+    )
+
+
+def _scan_one_task(args: Tuple[str, Tuple[str, ...]]) -> _FileScan:
+    """Worker entry point: rebuild the selected rules from the registry
+    (rule instances are not shipped across the pool) and scan one file."""
+    path, select = args
+    file_rules, project_rules = _split_rules(all_rules(select))
+    return _scan_one(path, file_rules, want_summary=bool(project_rules))
+
+
 def analyze_paths(
     paths: Iterable[Union[str, Path]],
     rules: Optional[Sequence[Rule]] = None,
     excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+    jobs: Optional[int] = None,
 ) -> List[Finding]:
-    """Analyze every Python file under ``paths`` (files or directories)."""
+    """Analyze every Python file under ``paths`` (files or directories).
+
+    Pass 1 (per-file rules + summary extraction) runs per file — across a
+    process pool when ``jobs`` > 1, since files are independent; pass 2
+    builds the :class:`~repro.analysis.project.ProjectIndex` from the
+    collected summaries in-parent and runs every :class:`ProjectRule`.
+    Findings are byte-identical regardless of ``jobs`` (asserted in the
+    test suite): both paths run the same scan function and the result is
+    fully sorted.
+    """
     if rules is None:
         rules = all_rules()
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths, excluded_dirs=excluded_dirs):
-        findings.extend(
-            analyze_source(
-                file_path.read_text(encoding="utf-8"),
-                path=str(file_path),
-                rules=rules,
+    file_rules, project_rules = _split_rules(rules)
+    files = [str(path) for path in iter_python_files(paths, excluded_dirs)]
+
+    parallel = (
+        jobs is not None
+        and jobs > 1
+        and len(files) > 1
+        # Worker processes rebuild rules from the registry by id; custom
+        # unregistered rule instances force the sequential path.
+        and all(_REGISTRY.get(rule.rule_id) is type(rule) for rule in rules)
+    )
+    if parallel:
+        select = tuple(rule.rule_id for rule in rules)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            scans = list(
+                pool.map(
+                    _scan_one_task,
+                    [(path, select) for path in files],
+                    chunksize=max(1, len(files) // (jobs * 4)),
+                )
             )
+    else:
+        scans = [
+            _scan_one(path, file_rules, want_summary=bool(project_rules))
+            for path in files
+        ]
+
+    findings: List[Finding] = [
+        finding for scan in scans for finding in scan.findings
+    ]
+    findings.extend(
+        _project_findings(
+            [scan.summary for scan in scans if scan.summary is not None],
+            project_rules,
+            {scan.path: dict(scan.suppressions) for scan in scans},
         )
+    )
     return sorted(findings)

@@ -1,0 +1,209 @@
+"""RA007 — cross-module lock-order discipline.
+
+The repo now has three lock domains (`DiGraph`/`SnapshotStore`'s RLock,
+`IngestionService`'s condition, the telemetry registry/metric locks) and
+they nest: snapshot sealing updates gauges, the service ticks counters.
+That is fine exactly as long as (a) no non-reentrant lock is ever
+re-entered on the same thread, and (b) the "acquired while holding"
+relation stays acyclic — two threads taking the same pair of locks in
+opposite orders is the classic deadlock, and it can only be seen by
+looking at every module at once.
+
+RA007 works on the :class:`~repro.analysis.project.ProjectIndex`:
+
+* every lock acquisition (``with self._lock:``, ``lock.acquire()``) is
+  resolved to a stable ``(module, Class.attr)`` identity with its
+  reentrancy (``threading.Lock`` vs ``RLock``/``Condition``);
+* held-lock sets propagate along resolved call edges — if ``f`` calls
+  ``g`` while holding ``L`` and ``g`` transitively acquires ``M``, the
+  order edge ``L → M`` exists even though no single function shows it;
+* findings: **re-entry** of a non-reentrant lock (directly or through a
+  call chain), and **one finding per lock-order cycle** (a strongly
+  connected component of the order graph), anchored at a witness
+  acquisition.
+
+Spellings the index cannot resolve (locks of classes outside the scan,
+dynamic attributes) contribute nothing — conservative silence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, register
+from repro.analysis.project import LockId, ProjectIndex
+
+
+def _render(lock: LockId) -> str:
+    dotted, attr = lock
+    return f"{dotted}.{attr}" if dotted else attr
+
+
+def _postorder(
+    nodes: Iterable[LockId], edges: Dict[LockId, Set[LockId]]
+) -> List[LockId]:
+    visited: Set[LockId] = set()
+    order: List[LockId] = []
+    for start in sorted(nodes):
+        if start in visited:
+            continue
+        stack: List[Tuple[LockId, bool]] = [(start, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for successor in sorted(edges.get(node, ()), reverse=True):
+                if successor not in visited:
+                    stack.append((successor, False))
+    return order
+
+
+def _sccs(
+    nodes: Iterable[LockId], edges: Dict[LockId, Set[LockId]]
+) -> List[List[LockId]]:
+    """Strongly connected components (Kosaraju), deterministic order."""
+    reversed_edges: Dict[LockId, Set[LockId]] = {}
+    for source, targets in edges.items():
+        for target in targets:
+            reversed_edges.setdefault(target, set()).add(source)
+    assigned: Set[LockId] = set()
+    components: List[List[LockId]] = []
+    for node in reversed(_postorder(nodes, edges)):
+        if node in assigned:
+            continue
+        component: List[LockId] = []
+        stack = [node]
+        assigned.add(node)
+        while stack:
+            current = stack.pop()
+            component.append(current)
+            for predecessor in reversed_edges.get(current, ()):
+                if predecessor not in assigned:
+                    assigned.add(predecessor)
+                    stack.append(predecessor)
+        components.append(sorted(component))
+    return components
+
+
+@register
+class LockOrderRule(ProjectRule):
+    rule_id = "RA007"
+    title = (
+        "lock acquisition order must be acyclic across modules and "
+        "non-reentrant locks must never be re-entered"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        # order edge (held → acquired) → earliest witness (path, line)
+        order_edges: Dict[Tuple[LockId, LockId], Tuple[str, int]] = {}
+
+        def note_edge(
+            held: LockId, acquired: LockId, path: str, line: int
+        ) -> None:
+            if held == acquired:
+                return
+            key = (held, acquired)
+            if key not in order_edges or (path, line) < order_edges[key]:
+                order_edges[key] = (path, line)
+
+        reentry_seen: Set[Tuple[str, int, LockId]] = set()
+        for fkey in sorted(index.functions):
+            module, function = index.functions[fkey]
+            for acquire in function.lock_acquires:
+                resolved = index.resolve_lock(
+                    module, function, acquire.spelling
+                )
+                if resolved is None:
+                    continue
+                identity, reentrant = resolved
+                held_ids = [
+                    resolved_held[0]
+                    for spelling in acquire.held
+                    for resolved_held in [
+                        index.resolve_lock(module, function, spelling)
+                    ]
+                    if resolved_held is not None
+                ]
+                if identity in held_ids and not reentrant:
+                    mark = (module.path, acquire.lineno, identity)
+                    if mark not in reentry_seen:
+                        reentry_seen.add(mark)
+                        findings.append(
+                            self.project_finding(
+                                module.path,
+                                acquire.lineno,
+                                f"{function.qualname} re-acquires "
+                                f"non-reentrant lock {_render(identity)} "
+                                "while already holding it (self-deadlock)",
+                            )
+                        )
+                for held in held_ids:
+                    note_edge(held, identity, module.path, acquire.lineno)
+            for callee_key, call in index.resolved_calls.get(fkey, ()):
+                if not call.held:
+                    continue
+                held_ids = [
+                    resolved_held[0]
+                    for spelling in call.held
+                    for resolved_held in [
+                        index.resolve_lock(module, function, spelling)
+                    ]
+                    if resolved_held is not None
+                ]
+                callee_locks = index.transitive_locks.get(
+                    callee_key, frozenset()
+                )
+                for held in held_ids:
+                    if held in callee_locks and not index.lock_reentrant.get(
+                        held, True
+                    ):
+                        mark = (module.path, call.lineno, held)
+                        if mark not in reentry_seen:
+                            reentry_seen.add(mark)
+                            findings.append(
+                                self.project_finding(
+                                    module.path,
+                                    call.lineno,
+                                    f"{function.qualname} calls "
+                                    f"{'.'.join(call.parts)} while holding "
+                                    f"non-reentrant lock {_render(held)}, "
+                                    "and the callee (transitively) acquires "
+                                    "it again (self-deadlock)",
+                                )
+                            )
+                    for acquired in callee_locks:
+                        note_edge(held, acquired, module.path, call.lineno)
+
+        adjacency: Dict[LockId, Set[LockId]] = {}
+        nodes: Set[LockId] = set()
+        for (held, acquired), _witness in order_edges.items():
+            adjacency.setdefault(held, set()).add(acquired)
+            nodes.add(held)
+            nodes.add(acquired)
+        for component in _sccs(nodes, adjacency):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            witnesses = sorted(
+                witness
+                for (held, acquired), witness in order_edges.items()
+                if held in members and acquired in members
+            )
+            path, line = witnesses[0]
+            findings.append(
+                self.project_finding(
+                    path,
+                    line,
+                    "lock-order cycle (potential deadlock) between "
+                    + " and ".join(_render(lock) for lock in component)
+                    + ": these locks are acquired in both orders; pick one "
+                    "global order (witness acquisition here)",
+                )
+            )
+        return findings

@@ -421,23 +421,33 @@ class WorkerPool:
                 shared = SharedCSR.create(self.snapshot)
                 self._owns_shared_graph = True
             self._shared_graph = shared
-            init_graph = shared.handle
-            registry.counter(SHM_BYTES_TOTAL).inc(shared.nbytes)
-            registry.counter(SHM_SECONDS_TOTAL).inc(
-                time.perf_counter() - start
+        # From here the instance owns the export but nobody can call
+        # shutdown() until __init__ returns: release it ourselves if the
+        # constructor tail fails (RA008 ctor-window).
+        try:
+            if self._shared_graph is not None:
+                init_graph = self._shared_graph.handle
+                registry.counter(SHM_BYTES_TOTAL).inc(
+                    self._shared_graph.nbytes
+                )
+                registry.counter(SHM_SECONDS_TOTAL).inc(
+                    time.perf_counter() - start
+                )
+            config = {
+                "algorithm": algorithm,
+                "gamma": gamma,
+                "optimize_search_order": algorithm.endswith("+"),
+                "max_detection_depth": max_detection_depth,
+                "index_payload": None,
+            }
+            self._executor = ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(init_graph, config),
             )
-        config = {
-            "algorithm": algorithm,
-            "gamma": gamma,
-            "optimize_search_order": algorithm.endswith("+"),
-            "max_detection_depth": max_detection_depth,
-            "index_payload": None,
-        }
-        self._executor = ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(init_graph, config),
-        )
+        except BaseException:
+            self._release_shared_graph()
+            raise
         self._batch_counter = 0
         self._closed = False
         self._index_sources = {
@@ -486,6 +496,17 @@ class WorkerPool:
         require(not self._closed, "WorkerPool is shut down", RuntimeError)
         return self._executor.submit(fn, *args)
 
+    def _release_shared_graph(self) -> None:
+        """Retire the shared-memory graph export exactly once (idempotent):
+        unlink an owned segment, drop the store refcount otherwise."""
+        shared, owned = self._shared_graph, self._owns_shared_graph
+        self._shared_graph = None
+        if shared is not None:
+            if owned:
+                shared.unlink()
+            else:
+                self.graph.snapshots.release_shm(self.graph_version)
+
     def shutdown(self, wait: bool = True) -> None:
         """Join the worker processes and retire the shared-memory graph
         segment (idempotent)."""
@@ -494,13 +515,7 @@ class WorkerPool:
             return
         self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=True)
-        shared, owned = self._shared_graph, self._owns_shared_graph
-        self._shared_graph = None
-        if shared is not None:
-            if owned:
-                shared.unlink()
-            else:
-                self.graph.snapshots.release_shm(self.graph_version)
+        self._release_shared_graph()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -651,72 +666,76 @@ def stream_parallel(
         shm_available() if use_shm == "auto" else bool(use_shm) and shm_available()
     )
     shipped_bytes = plan.index_bytes if plan.ship_index else None
-    # Index transport: under the planner's "shm" decision the blob is copied
-    # into one shared segment here and workers receive only its handle; the
-    # segment is unlinked in the finally block below once every shard has
-    # landed (mapped workers keep reading safely regardless).
-    shm_index: Optional[SharedIndexPayload] = None
-    index_payload: IndexPayload = shipped_bytes
-    if (
-        shipped_bytes is not None
-        and plan.index_transport == "shm"
-        and use_shm
-    ):
-        shm_start = time.perf_counter()
-        shm_index = SharedIndexPayload.create(shipped_bytes)
-        m_shm_seconds.inc(time.perf_counter() - shm_start)
-        m_shm_bytes.inc(len(shipped_bytes))
-        index_payload = shm_index.handle
     # The worker-side span context: ``None`` (no tracing) costs nothing in
     # the payload and workers skip recording entirely.
     span_context = span_tracer.current_context()
+    # Index transport: under the planner's "shm" decision the blob is copied
+    # into one shared segment here and workers receive only its handle; the
+    # segment is unlinked in the outer finally below once every shard has
+    # landed (mapped workers keep reading safely regardless).  Every
+    # acquisition — index segment, graph export, worker pool — happens
+    # inside the try so a failure anywhere between acquire and release
+    # cannot leak a segment or orphan workers (RA008).
+    shm_index: Optional[SharedIndexPayload] = None
+    index_payload: IndexPayload = shipped_bytes
     shm_graph: Optional[SharedCSR] = None
     owns_shm_graph = False
     shm_graph_version: Optional[int] = None
-    if pool is None:
-        config = {
-            "algorithm": algorithm,
-            "gamma": gamma,
-            "optimize_search_order": algorithm.endswith("+"),
-            "max_detection_depth": max_detection_depth,
-            "index_payload": index_payload,
-        }
-        snapshot = (
-            plan.snapshot if plan.snapshot is not None else graph.csr_snapshot()
-        )
-        init_graph: "CSRGraph | SharedCSRHandle" = snapshot
-        if use_shm:
+    executor: "ProcessPoolExecutor | WorkerPool | None" = None
+    futures: List = []
+    try:
+        if (
+            shipped_bytes is not None
+            and plan.index_transport == "shm"
+            and use_shm
+        ):
             shm_start = time.perf_counter()
-            store = getattr(graph, "snapshots", None)
-            shm_graph = store.export_shm(snapshot) if store is not None else None
-            if shm_graph is None:
-                shm_graph = SharedCSR.create(snapshot)
-                owns_shm_graph = True
-            else:
-                shm_graph_version = snapshot.version
-            init_graph = shm_graph.handle
+            shm_index = SharedIndexPayload.create(shipped_bytes)
             m_shm_seconds.inc(time.perf_counter() - shm_start)
-            m_shm_bytes.inc(shm_graph.nbytes)
-        executor = ProcessPoolExecutor(
-            max_workers=plan.num_workers,
-            initializer=_init_worker,
-            initargs=(init_graph, config),
-        )
-        extra_args: Tuple = (None, None, span_context)
-    else:
-        # Persistent pool: the initializer already shipped the graph and
-        # static config; this batch's index (if any) rides on each task
-        # under a shared batch key.
-        executor = pool
-        extra_args = (
-            (pool.next_batch_key(), index_payload)
-            if index_payload
-            else (None, None)
-        ) + (span_context,)
-    with stage_timer.stage("Enumeration"):
-        futures: List = []
-        shard_by_future: Dict = {}
-        try:
+            m_shm_bytes.inc(len(shipped_bytes))
+            index_payload = shm_index.handle
+        if pool is None:
+            config = {
+                "algorithm": algorithm,
+                "gamma": gamma,
+                "optimize_search_order": algorithm.endswith("+"),
+                "max_detection_depth": max_detection_depth,
+                "index_payload": index_payload,
+            }
+            snapshot = (
+                plan.snapshot if plan.snapshot is not None else graph.csr_snapshot()
+            )
+            init_graph: "CSRGraph | SharedCSRHandle" = snapshot
+            if use_shm:
+                shm_start = time.perf_counter()
+                store = getattr(graph, "snapshots", None)
+                shm_graph = store.export_shm(snapshot) if store is not None else None
+                if shm_graph is None:
+                    shm_graph = SharedCSR.create(snapshot)
+                    owns_shm_graph = True
+                else:
+                    shm_graph_version = snapshot.version
+                init_graph = shm_graph.handle
+                m_shm_seconds.inc(time.perf_counter() - shm_start)
+                m_shm_bytes.inc(shm_graph.nbytes)
+            executor = ProcessPoolExecutor(
+                max_workers=plan.num_workers,
+                initializer=_init_worker,
+                initargs=(init_graph, config),
+            )
+            extra_args: Tuple = (None, None, span_context)
+        else:
+            # Persistent pool: the initializer already shipped the graph and
+            # static config; this batch's index (if any) rides on each task
+            # under a shared batch key.
+            executor = pool
+            extra_args = (
+                (pool.next_batch_key(), index_payload)
+                if index_payload
+                else (None, None)
+            ) + (span_context,)
+        with stage_timer.stage("Enumeration"):
+            shard_by_future: Dict = {}
             ship_start = time.perf_counter()
             with span_tracer.span(
                 "ship",
@@ -776,27 +795,28 @@ def stream_parallel(
                     position: result.paths_by_position[position]
                     for position in sorted(paths_by_position)
                 }
-        finally:
-            if pool is None:
-                # On an error (or an abandoned consumer) cancel whatever has
-                # not started; running shards finish or fail on their own,
-                # and the wait guarantees no orphaned worker processes.
+    finally:
+        if pool is None:
+            # On an error (or an abandoned consumer) cancel whatever has
+            # not started; running shards finish or fail on their own,
+            # and the wait guarantees no orphaned worker processes.
+            if executor is not None:
                 executor.shutdown(wait=True, cancel_futures=True)
-                if shm_graph is not None:
-                    if owns_shm_graph:
-                        shm_graph.unlink()
-                    else:
-                        graph.snapshots.release_shm(shm_graph_version)
-            else:
-                # Only this batch's unstarted shards are cancelled; the pool
-                # stays open for the next micro-batch.
-                for future in futures:
-                    future.cancel()
-            if shm_index is not None:
-                # The batch's shard tasks have all landed (or been
-                # cancelled); retiring the name now keeps /dev/shm clean
-                # while any still-running stragglers read their mapping.
-                shm_index.unlink()
+            if shm_graph is not None:
+                if owns_shm_graph:
+                    shm_graph.unlink()
+                else:
+                    graph.snapshots.release_shm(shm_graph_version)
+        else:
+            # Only this batch's unstarted shards are cancelled; the pool
+            # stays open for the next micro-batch.
+            for future in futures:
+                future.cancel()
+        if shm_index is not None:
+            # The batch's shard tasks have all landed (or been
+            # cancelled); retiring the name now keeps /dev/shm clean
+            # while any still-running stragglers read their mapping.
+            shm_index.unlink()
 
     if algorithm not in CLUSTERED_ALGORITHMS:
         # Per-query algorithms report one "cluster" per query, like their

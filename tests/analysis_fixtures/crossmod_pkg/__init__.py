@@ -1,0 +1,6 @@
+"""Cross-module fixture package: findings that need the project index.
+
+The modules here import each other (including a deliberate circular
+import) — the package is only ever *parsed* by the analyzer, never
+imported.
+"""

@@ -1,0 +1,46 @@
+"""Storage half: locks ordered against metrics, shm holders, a shipper."""
+
+import threading
+
+from .metrics import Registry, iter_samples, log_failure, release_export
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._registry = Registry(self)
+
+    def seal(self):
+        with self._lock:
+            self._registry.bump()  # opposite order to Registry.flush
+
+
+def consume(item):
+    return item
+
+
+class SafeHolder:
+    def __init__(self, store, graph, registry):
+        shared = store.export_shm()
+        self._shared = shared
+        self._graph = graph
+        try:
+            registry.observe(shared.nbytes)
+        except BaseException:
+            release_export(graph)  # helper (other module) releases: fine
+            raise
+
+
+class LeakyHolder:
+    def __init__(self, store, registry):
+        shared = store.export_shm()  # expect: RA008
+        self._shared = shared
+        try:
+            registry.observe(shared.nbytes)
+        except BaseException:
+            log_failure("boom")  # resolves, but releases nothing
+            raise
+
+
+def ship_remote_generator(pool):
+    return pool.submit(consume, iter_samples())  # expect: RA009

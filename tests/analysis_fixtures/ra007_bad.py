@@ -1,0 +1,45 @@
+"""Bad fixture: lock-order cycle between classes and lock re-entry."""
+
+import threading
+
+
+class Gauge:
+    def __init__(self, store):
+        self._lock = threading.RLock()
+        self._store: Store = store
+
+    def record(self):
+        with self._lock:
+            pass
+
+    def drain(self):
+        with self._lock:
+            self._store.seal()  # expect: RA007
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._gauge = Gauge(self)
+
+    def seal(self):
+        with self._lock:
+            self._gauge.record()
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def inc(self):
+        with self._lock:
+            pass
+
+    def inc_twice(self):
+        with self._lock:
+            with self._lock:  # expect: RA007
+                pass
+
+    def double(self):
+        with self._lock:
+            self.inc()  # expect: RA007

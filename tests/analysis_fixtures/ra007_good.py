@@ -1,0 +1,30 @@
+"""Good fixture: one global lock order, re-entry only through RLocks."""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def record(self):
+        with self._lock:
+            pass
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._gauge = Gauge()
+
+    def seal(self):
+        with self._lock:
+            self._gauge.record()  # every path takes Store before Gauge
+
+    def resolve(self):
+        with self._lock:
+            self.seal()  # RLock re-entry through a call is fine
+
+    def audit(self, other):
+        with self._lock:
+            other.refresh()  # unresolvable receiver: conservative silence

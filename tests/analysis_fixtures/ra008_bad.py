@@ -1,0 +1,48 @@
+"""Bad fixture: resource acquires that leak on some path."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class SharedCSR:
+    @classmethod
+    def create(cls, snapshot):
+        return cls()
+
+    def unlink(self):
+        pass
+
+
+def noop(item):
+    return item
+
+
+def forget_pin(store):
+    pinned = store.pin()  # expect: RA008
+    return pinned.version
+
+
+def leak_window(store, registry):
+    segment = store.export_shm()  # expect: RA008
+    registry.observe(segment.nbytes)
+    try:
+        return segment.handle
+    finally:
+        store.release_shm(1)
+
+
+def forget_pool(tasks):
+    executor = ProcessPoolExecutor(max_workers=2)  # expect: RA008
+    return [executor.submit(noop, task) for task in tasks]
+
+
+class Holder:
+    def __init__(self, snapshot, registry):
+        segment = SharedCSR.create(snapshot)  # expect: RA008
+        self._segment = segment
+        registry.observe(snapshot)
+
+    def close(self):
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            segment.unlink()

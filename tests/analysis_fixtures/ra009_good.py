@@ -1,0 +1,32 @@
+"""Good fixture: picklable payloads, conservative silence on unknowns."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def consume(item):
+    return item
+
+
+def build_rows(count):
+    return list(range(count))
+
+
+def ship_data(pool, items):
+    rows = [item * 2 for item in items]
+    return pool.submit(consume, rows)
+
+
+def ship_call_result(pool):
+    return pool.submit(consume, build_rows(4))  # plain call result: fine
+
+
+def ship_param(pool, payload):
+    return pool.submit(consume, payload)  # unknown type: stay silent
+
+
+def ship_initargs(snapshot):
+    return ProcessPoolExecutor(initializer=consume, initargs=(snapshot, 3))
+
+
+def ship_unknown_attr(pool, task):
+    return pool.submit(consume, task.payload)  # non-self attr: stay silent

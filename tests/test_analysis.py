@@ -1,15 +1,18 @@
 """Tests for the ``repro.analysis`` AST invariant checker.
 
-Three layers: the fixture corpus under ``tests/analysis_fixtures/``
+Four layers: the fixture corpus under ``tests/analysis_fixtures/``
 (every rule has at least one fixture it catches — at the exact marked
-line — and one it passes), the engine mechanics (suppressions, registry,
-parse errors, path walking), and the CLI contract (exit codes, rendered
-``file:line: RA###:`` findings, ``--list-rules``/``--select``).  The
+line — and one it passes; RA007-RA009 additionally have a cross-module
+package fixture), the engine mechanics (tokenize-based suppressions,
+spans, registry, parse errors, path walking, ``jobs`` determinism), the
+project index (call/lock resolution, conservative silence), and the CLI
+contract (exit codes, renderers, ``--jobs``, ``--list-rules``).  The
 final test is the self-scan: the analyzer must report zero findings over
 the repo's own ``src``, ``tests`` and ``benchmarks`` trees — the same
 invocation CI runs as a blocking job.
 """
 
+import json
 import os
 import re
 import subprocess
@@ -28,12 +31,26 @@ from repro.analysis import (
     iter_python_files,
     register,
 )
-from repro.analysis.core import _REGISTRY
+from repro.analysis.__main__ import _render_github, _render_json
+from repro.analysis.core import _REGISTRY, SourceModule
+from repro.analysis.project import ProjectIndex
+from repro.analysis.summaries import summarize_module
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURE_DIR = Path(__file__).resolve().parent / "analysis_fixtures"
+CROSSMOD_PKG = FIXTURE_DIR / "crossmod_pkg"
 
-RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006")
+RULE_IDS = (
+    "RA001",
+    "RA002",
+    "RA003",
+    "RA004",
+    "RA005",
+    "RA006",
+    "RA007",
+    "RA008",
+    "RA009",
+)
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*(RA\d{3})")
 
@@ -55,6 +72,16 @@ def findings_for(path: Path):
         (finding.line, finding.rule_id)
         for finding in analyze_paths([path])
     }
+
+
+def index_for(*named_sources):
+    """Build a :class:`ProjectIndex` from ``(path, source)`` pairs."""
+    return ProjectIndex.build(
+        [
+            summarize_module(SourceModule(path, source))
+            for path, source in named_sources
+        ]
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -79,6 +106,184 @@ def test_every_rule_registered_and_titled():
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == list(RULE_IDS)
     assert all(rule.title for rule in rules)
+
+
+def test_cross_module_package_is_caught_at_marked_lines():
+    """RA007/8/9 findings that only exist with the full package index."""
+    findings = analyze_paths([CROSSMOD_PKG])
+    got = {
+        (Path(finding.file).name, finding.line, finding.rule_id)
+        for finding in findings
+    }
+    expected = set()
+    for path in sorted(CROSSMOD_PKG.glob("*.py")):
+        for line, rule_id in expected_markers(path):
+            expected.add((path.name, line, rule_id))
+    assert got == expected
+    assert {finding.rule_id for finding in findings} == {
+        "RA007",
+        "RA008",
+        "RA009",
+    }
+
+
+def test_cross_module_findings_vanish_when_half_the_package_is_unseen():
+    """Scanning one module alone leaves every callee unresolvable, and
+    unresolvable names must mean silence, not guesses."""
+    assert analyze_paths([CROSSMOD_PKG / "storage.py"]) == []
+
+
+# --------------------------------------------------------------------- #
+# Project index: resolution and summaries that power RA007-RA009.
+# --------------------------------------------------------------------- #
+_CALLER_SRC = (
+    "import helpers\n"
+    "from helpers import fetch\n"
+    "def run():\n"
+    "    helpers.work()\n"
+    "    fetch()\n"
+    "    mystery()\n"
+)
+_HELPERS_SRC = (
+    "def work():\n"
+    "    return 1\n"
+    "def fetch():\n"
+    "    return 2\n"
+)
+
+
+def test_project_index_resolves_alias_and_from_import_calls():
+    index = index_for(
+        ("proj/caller.py", _CALLER_SRC), ("proj/helpers.py", _HELPERS_SRC)
+    )
+    module = index.by_path["proj/caller.py"]
+    run = next(f for f in module.functions if f.qualname == "run")
+    resolved = {}
+    for call in run.calls:
+        target = index.resolve_call(module, run, call.parts)
+        resolved[call.parts] = (
+            None if target is None else target[1].qualname
+        )
+    assert resolved == {
+        ("helpers", "work"): "work",
+        ("fetch",): "fetch",
+        ("mystery",): None,
+    }
+
+
+def test_project_index_summary_captures_locks_and_releases():
+    index = index_for(
+        (
+            "m.py",
+            "import threading\n"
+            "class A:\n"
+            "    def __init__(self, store):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._store = store\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            pinned = self._store.pin(1)\n"
+            "            pinned.release()\n"
+            "    def outer(self):\n"
+            "        self.inner()\n",
+        )
+    )
+    module = index.modules[0]
+    classdef = module.classes[0]
+    assert dict(classdef.lock_attrs) == {"_lock": True}
+    inner = next(f for f in module.functions if f.name == "inner")
+    assert [a.spelling for a in inner.lock_acquires] == ["self._lock"]
+    assert set(inner.release_kinds) >= {"lock", "pin"}
+    # the transitive lock set propagates through the self.inner() edge
+    assert index.transitive_locks[("m.py", "A.outer")] == frozenset(
+        {("m", "A._lock")}
+    )
+    assert index.lock_reentrant[("m", "A._lock")] is True
+
+
+def test_project_index_stays_silent_on_unknown_imports():
+    index = index_for(
+        (
+            "m.py",
+            "from vendor.thing import blob\n"
+            "def go():\n"
+            "    blob()\n",
+        )
+    )
+    module = index.modules[0]
+    go = module.functions[0]
+    assert index.resolve_call(module, go, ("blob",)) is None
+    assert index.resolve_class(module, "Whatever") is None
+
+
+# --------------------------------------------------------------------- #
+# Mutation demonstrations: the repo's own code is clean for RA007/RA009
+# (verified by the self-scan below), so show each rule catches the
+# realistic regression it was written for — and stays quiet once the
+# mutation is repaired.
+# --------------------------------------------------------------------- #
+_DEADLOCK_SRC = (
+    "import threading\n"
+    "class MetricsRegistry:\n"
+    "    def __init__(self, pool):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._pool: WorkerPool = pool\n"
+    "    def flush(self):\n"
+    "        with self._lock:\n"
+    "            self._pool.drain()\n"
+    "class WorkerPool:\n"
+    "    def __init__(self, registry):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._registry: MetricsRegistry = registry\n"
+    "    def drain(self):\n"
+    "        with self._lock:\n"
+    "            pass\n"
+    "    def shutdown(self):\n"
+    "        with self._lock:\n"
+    "            self._registry.flush()\n"
+)
+
+
+def test_ra007_catches_pool_registry_deadlock_mutation():
+    findings = analyze_source(_DEADLOCK_SRC, path="m.py")
+    assert "RA007" in {finding.rule_id for finding in findings}
+    # repaired: shutdown drops its own lock before flushing metrics
+    repaired = _DEADLOCK_SRC.replace(
+        "    def shutdown(self):\n"
+        "        with self._lock:\n"
+        "            self._registry.flush()\n",
+        "    def shutdown(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "        self._registry.flush()\n",
+    )
+    assert repaired != _DEADLOCK_SRC
+    assert analyze_source(repaired, path="m.py") == []
+
+
+_ATTACH_SRC = (
+    "class AttachedCSR:\n"
+    "    def __reduce__(self):\n"
+    "        raise TypeError('attach inside the worker instead')\n"
+    "def enumerate_batch(graph, spans):\n"
+    "    return spans\n"
+    "def stream(pool, handle, spans):\n"
+    "    graph = handle.attach()\n"
+    "    return pool.submit(enumerate_batch, graph, spans)\n"
+)
+
+
+def test_ra009_catches_attached_mapping_submitted_to_pool():
+    findings = analyze_source(_ATTACH_SRC, path="m.py")
+    assert [finding.rule_id for finding in findings] == ["RA009"]
+    # repaired: ship the picklable handle, attach in the worker
+    repaired = _ATTACH_SRC.replace(
+        "    graph = handle.attach()\n"
+        "    return pool.submit(enumerate_batch, graph, spans)\n",
+        "    return pool.submit(enumerate_batch, handle, spans)\n",
+    )
+    assert repaired != _ATTACH_SRC
+    assert analyze_source(repaired, path="m.py") == []
 
 
 # --------------------------------------------------------------------- #
@@ -112,6 +317,42 @@ def test_suppression_for_other_rule_does_not_apply():
 def test_suppression_accepts_id_lists_case_insensitively():
     source = BAD_RETURN.format(comment="  # repro: ignore[ra001, ra004]")
     assert analyze_source(source) == []
+
+
+def test_suppression_marker_inside_string_literal_is_inert():
+    """Suppressions are parsed from COMMENT tokens, so a marker spelled
+    inside a string literal on the finding line must not silence it."""
+    source = (
+        "from repro.obs import MetricsRegistry\n"
+        "NULL = MetricsRegistry()\n"
+        "def warm():\n"
+        "    NULL.counter('x # repro: ignore').inc()\n"
+    )
+    findings = {(f.line, f.rule_id) for f in analyze_source(source)}
+    assert (4, "RA006") in findings
+    # ...while a real comment on the same line still works
+    suppressed = source.replace(
+        ".inc()\n", ".inc()  # repro: ignore[RA006]\n"
+    )
+    findings = {(f.line, f.rule_id) for f in analyze_source(suppressed)}
+    assert (4, "RA006") not in findings
+
+
+def test_suppression_applies_anywhere_in_a_multiline_statement():
+    source = (
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._items = []\n"
+        "    def items(self):\n"
+        "        return (\n"
+        "            self._items\n"
+        "        )  # repro: ignore[RA004]\n"
+    )
+    assert analyze_source(source) == []
+    unsuppressed = source.replace("  # repro: ignore[RA004]", "")
+    findings = analyze_source(unsuppressed)
+    assert [(f.line, f.rule_id) for f in findings] == [(5, "RA004")]
+    assert findings[0].span == (5, 7)
 
 
 def test_unsuppressed_finding_reports_file_and_line():
@@ -163,6 +404,22 @@ def test_iter_python_files_excludes_fixture_corpus_but_honours_files():
     assert Path(__file__).resolve() in {path.resolve() for path in walked}
     explicit = FIXTURE_DIR / "ra004_bad.py"
     assert list(iter_python_files([explicit])) == [explicit]
+
+
+def test_jobs_parallel_scan_is_byte_identical_to_sequential():
+    paths = [
+        FIXTURE_DIR / "ra007_bad.py",
+        FIXTURE_DIR / "ra008_bad.py",
+        FIXTURE_DIR / "ra009_bad.py",
+        CROSSMOD_PKG,
+    ]
+    sequential = analyze_paths(paths)
+    parallel = analyze_paths(paths, jobs=4)
+    assert sequential, "expected findings to compare"
+    assert parallel == sequential
+    assert [f.render() for f in parallel] == [
+        f.render() for f in sequential
+    ]
 
 
 def test_ra002_private_access_exempt_inside_graph_package():
@@ -238,6 +495,23 @@ def test_ra001_nested_closure_does_not_inherit_lock_state():
 
 
 # --------------------------------------------------------------------- #
+# Renderers
+# --------------------------------------------------------------------- #
+def test_render_json_shape():
+    findings = [Finding("a.py", 3, "RA001", "msg")]
+    assert json.loads(_render_json(findings)) == [
+        {"file": "a.py", "line": 3, "rule": "RA001", "message": "msg"}
+    ]
+
+
+def test_render_github_escapes_workflow_payload():
+    findings = [Finding("a.py", 3, "RA001", "50% of\nlines")]
+    assert _render_github(findings) == (
+        "::error file=a.py,line=3,title=RA001::50%25 of%0Alines"
+    )
+
+
+# --------------------------------------------------------------------- #
 # CLI contract
 # --------------------------------------------------------------------- #
 def run_cli(*args):
@@ -279,6 +553,41 @@ def test_cli_select_restricts_rules():
 def test_cli_usage_errors_exit_two():
     assert run_cli().returncode == 2
     assert run_cli("--select", "RA999", "src").returncode == 2
+    assert run_cli("--jobs", "0", "src").returncode == 2
+    assert run_cli("--jobs", "fast", "src").returncode == 2
+
+
+def test_cli_jobs_output_matches_sequential():
+    path = str(FIXTURE_DIR / "ra008_bad.py")
+    sequential = run_cli(path)
+    parallel = run_cli("--jobs", "2", path)
+    auto = run_cli("--jobs", "auto", path)
+    assert sequential.returncode == 1
+    assert parallel.stdout == sequential.stdout
+    assert auto.stdout == sequential.stdout
+    assert parallel.returncode == auto.returncode == 1
+
+
+def test_cli_format_json():
+    path = FIXTURE_DIR / "ra001_bad.py"
+    result = run_cli("--format", "json", str(path))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    (line, rule_id), = expected_markers(path)
+    assert [(e["file"], e["line"], e["rule"]) for e in payload] == [
+        (str(path), line, rule_id)
+    ]
+    clean = run_cli("--format", "json", str(FIXTURE_DIR / "ra001_good.py"))
+    assert clean.returncode == 0
+    assert json.loads(clean.stdout) == []
+
+
+def test_cli_format_github():
+    path = FIXTURE_DIR / "ra001_bad.py"
+    result = run_cli("--format", "github", str(path))
+    assert result.returncode == 1
+    (line, rule_id), = expected_markers(path)
+    assert f"::error file={path},line={line},title={rule_id}::" in result.stdout
 
 
 def test_cli_list_rules():

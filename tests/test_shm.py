@@ -79,21 +79,23 @@ def test_shared_csr_attach_round_trip():
     graph, _ = _workload(1)
     snapshot = graph.csr_snapshot()
     shared = SharedCSR.create(snapshot)
-    attached = shared.handle.attach()
     try:
-        assert attached.num_vertices == snapshot.num_vertices
-        assert attached.num_edges == snapshot.num_edges
-        assert attached.version == snapshot.version
-        for vertex in range(snapshot.num_vertices):
-            assert list(attached.out_neighbors(vertex)) == list(
-                snapshot.out_neighbors(vertex)
-            )
-            assert list(attached.in_neighbors(vertex)) == list(
-                snapshot.in_neighbors(vertex)
-            )
+        attached = shared.handle.attach()
+        try:
+            assert attached.num_vertices == snapshot.num_vertices
+            assert attached.num_edges == snapshot.num_edges
+            assert attached.version == snapshot.version
+            for vertex in range(snapshot.num_vertices):
+                assert list(attached.out_neighbors(vertex)) == list(
+                    snapshot.out_neighbors(vertex)
+                )
+                assert list(attached.in_neighbors(vertex)) == list(
+                    snapshot.in_neighbors(vertex)
+                )
+        finally:
+            attached.close()
+            attached.close()  # idempotent
     finally:
-        attached.close()
-        attached.close()  # idempotent
         shared.unlink()
         shared.unlink()  # idempotent
 
@@ -101,28 +103,32 @@ def test_shared_csr_attach_round_trip():
 def test_attached_csr_refuses_to_pickle():
     graph, _ = _workload(2, num_vertices=12, num_edges=30)
     shared = SharedCSR.create(graph.csr_snapshot())
-    attached = shared.handle.attach()
     try:
-        with pytest.raises(TypeError):
-            pickle.dumps(attached)
-        # The handle is the picklable currency instead.
-        clone = pickle.loads(pickle.dumps(shared.handle))
-        assert clone == shared.handle
+        attached = shared.handle.attach()
+        try:
+            with pytest.raises(TypeError):
+                pickle.dumps(attached)
+            # The handle is the picklable currency instead.
+            clone = pickle.loads(pickle.dumps(shared.handle))
+            assert clone == shared.handle
+        finally:
+            attached.close()
     finally:
-        attached.close()
         shared.unlink()
 
 
 def test_shared_index_payload_round_trip():
     blob = bytes(range(256)) * 11
     payload = SharedIndexPayload.create(blob)
-    attachment = payload.handle.attach()
     try:
-        assert payload.handle.nbytes == len(blob)
-        assert bytes(attachment.view) == blob
+        attachment = payload.handle.attach()
+        try:
+            assert payload.handle.nbytes == len(blob)
+            assert bytes(attachment.view) == blob
+        finally:
+            attachment.close()
+            attachment.close()  # idempotent
     finally:
-        attachment.close()
-        attachment.close()  # idempotent
         payload.unlink()
 
 
